@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation (Section 1): "brainiacs" versus "speed demons". The
+ * paper opens with the contention between complex wide out-of-order
+ * implementations and simple fast-clocked ones, and proposes the
+ * dependence-based machine as the complexity-effective middle. This
+ * harness stages that debate: an in-order issue machine (no wakeup
+ * CAM — clocked at the rename/bypass limit), the out-of-order window
+ * machine (clocked at the window limit), and the dependence-based
+ * machine, all compared in IPC and in delivered BIPS.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "vlsi/clock.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+namespace {
+
+double
+meanIpc(const uarch::SimConfig &cfg)
+{
+    Machine m(cfg);
+    uint64_t instrs = 0, cycles = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        auto s = m.runWorkload(w.name);
+        instrs += s.committed;
+        cycles += s.cycles;
+    }
+    return static_cast<double>(instrs) / static_cast<double>(cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cesp::vlsi;
+    RenameDelayModel rename(Process::um0_18);
+    WakeupDelayModel wakeup(Process::um0_18);
+    SelectDelayModel select(Process::um0_18);
+    BypassDelayModel bypass(Process::um0_18);
+    ReservationDelayModel resv(Process::um0_18);
+
+    struct Entry
+    {
+        std::string label;
+        double ipc;
+        double clock_ps;
+    };
+    std::vector<Entry> entries;
+
+    {
+        // Speed demon: 4-wide in-order issue. No window logic at
+        // all; the clock is set by rename (bypass is short at 4
+        // wide).
+        uarch::SimConfig cfg = scaledBaseline(4);
+        cfg.name = "inorder-4way";
+        cfg.in_order_issue = true;
+        entries.push_back({"in-order 4-way (speed demon)",
+                           meanIpc(cfg),
+                           std::max(rename.totalPs(4),
+                                    bypass.totalPs(4))});
+    }
+    {
+        // Brainiac: 8-way out-of-order, 64-entry window.
+        entries.push_back(
+            {"OoO 8-way/64 window (brainiac)",
+             meanIpc(baseline8Way()),
+             std::max({rename.totalPs(8),
+                       wakeup.totalPs(8, 64) + select.totalPs(64),
+                       bypass.totalPs(8)})});
+    }
+    {
+        // Complexity-effective: 2x4 dependence-based.
+        entries.push_back(
+            {"2x4 dependence-based (complexity-effective)",
+             meanIpc(clusteredDependence2x4()),
+             std::max({rename.totalPs(8),
+                       resv.totalPs(4, 120) + select.totalPs(4),
+                       bypass.totalPs(4)})});
+    }
+
+    Table t("Brainiacs vs speed demons (0.18um, all workloads)");
+    t.header({"machine", "mean IPC", "clock ps", "clock MHz",
+              "BIPS"});
+    for (const auto &e : entries) {
+        double mhz = 1e6 / e.clock_ps;
+        t.row({e.label, cell(e.ipc, 3), cell(e.clock_ps),
+               cell(mhz, 0), cell(e.ipc * mhz / 1000.0, 2)});
+    }
+    t.print();
+    std::puts("The dependence-based machine pairs (nearly) brainiac "
+              "IPC with a speed-demon clock — the paper's "
+              "complexity-effective thesis.");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: FIFO pool geometry for the dependence-based machine. The
+ * paper picks eight 8-entry FIFOs for the 8-way machine; this sweep
+ * shows how IPC responds to the number of FIFOs (parallel-chain
+ * capacity) and their depth (chain length capacity), supporting that
+ * choice.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+namespace {
+
+double
+meanIpc(const uarch::SimConfig &cfg)
+{
+    Machine m(cfg);
+    uint64_t instrs = 0, cycles = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        auto s = m.runWorkload(w.name);
+        instrs += s.committed;
+        cycles += s.cycles;
+    }
+    return static_cast<double>(instrs) / static_cast<double>(cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    const int fifo_counts[] = {4, 6, 8, 12, 16};
+    const int depths[] = {2, 4, 8, 16};
+
+    Table t("FIFO geometry sweep: mean IPC over all workloads "
+            "(8-way dependence-based, 1 cluster)");
+    std::vector<std::string> hdr = {"fifos \\ depth"};
+    for (int d : depths)
+        hdr.push_back(std::to_string(d));
+    t.header(hdr);
+
+    double base_ipc = 0.0;
+    for (int f : fifo_counts) {
+        std::vector<std::string> row = {std::to_string(f)};
+        for (int d : depths) {
+            uarch::SimConfig cfg = dependence8x8();
+            cfg.name = "fifo" + std::to_string(f) + "x" +
+                std::to_string(d);
+            cfg.fifos_per_cluster = f;
+            cfg.fifo_depth = d;
+            double ipc = meanIpc(cfg);
+            if (f == 8 && d == 8)
+                base_ipc = ipc;
+            row.push_back(cell(ipc, 3));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    double window_ipc = meanIpc(baseline8Way());
+    std::printf("paper's 8x8 point: %.3f IPC = %.1f%% of the 64-entry "
+                "window machine (%.3f)\n", base_ipc,
+                100.0 * base_ipc / window_ipc, window_ipc);
+    std::puts("More FIFOs buy parallel-chain capacity; depth beyond "
+              "~8 buys little (chains longer than the window's reach "
+              "serialize anyway).");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: front-end depth. Two of the paper's remarks hang on the
+ * misprediction penalty growing with pipeline depth: deeper pipelines
+ * motivate the complexity analysis (Section 1), and a more complex
+ * steering heuristic "can be moved into a new pipestage — at the
+ * cost of an increase in branch mispredict penalty" (Section 5.3).
+ * This sweep measures that cost directly.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+int
+main()
+{
+    const int depths[] = {1, 2, 3, 4, 6};
+
+    Table t("Front-end depth ablation: baseline IPC vs fetch-to-"
+            "rename latency");
+    std::vector<std::string> hdr = {"benchmark"};
+    for (int d : depths)
+        hdr.push_back(std::to_string(d) + " stages");
+    t.header(hdr);
+
+    for (const auto &w : workloads::allWorkloads()) {
+        std::vector<std::string> row = {w.name};
+        for (int d : depths) {
+            uarch::SimConfig cfg = baseline8Way();
+            cfg.name = "fe" + std::to_string(d);
+            cfg.frontend_latency = d;
+            row.push_back(
+                cell(Machine(cfg).runWorkload(w.name).ipc(), 3));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    // The steering-pipestage cost (Section 5.3): dependence-based
+    // machine with one extra front-end stage.
+    Table s("Extra steering pipestage on the dependence-based "
+            "machine (Section 5.3)");
+    s.header({"benchmark", "steer in rename", "steer +1 stage",
+              "cost %"});
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        uarch::SimConfig base = dependence8x8();
+        uarch::SimConfig deep = dependence8x8();
+        deep.name = "dep-deep";
+        deep.frontend_latency = base.frontend_latency + 1;
+        double a = Machine(base).runWorkload(w.name).ipc();
+        double b = Machine(deep).runWorkload(w.name).ipc();
+        sum += 100.0 * (a - b) / a;
+        ++n;
+        s.row({w.name, cell(a, 3), cell(b, 3),
+               cell(100.0 * (a - b) / a)});
+    }
+    s.print();
+    std::printf("mean cost of the extra steering stage: %.1f%% "
+                "(the paper keeps steering inside rename to avoid "
+                "it)\n", sum / n);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: ILP limit study. Places the simulated machines against
+ * the idealized dataflow schedule of each workload (unit latency,
+ * perfect prediction and caches): how much of the achievable
+ * parallelism does each organization capture, and how does the
+ * window size gate it (Section 4.2.2's "a larger window is required
+ * for finding more independent instructions")?
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "trace/analysis.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+int
+main()
+{
+    Table t("Dataflow ILP limits vs realized IPC");
+    t.header({"benchmark", "dataflow", "win=64 iw=8", "machine IPC",
+              "dep-based IPC", "captured %"});
+    for (const auto &w : workloads::workloadNames()) {
+        trace::TraceBuffer &buf = cachedWorkloadTrace(w);
+        auto unlimited = trace::dataflowSchedule(buf);
+        trace::ScheduleLimits lim;
+        lim.window = 64;
+        lim.issue_width = 8;
+        auto limited = trace::dataflowSchedule(buf, lim);
+        double machine = Machine(baseline8Way()).runTrace(buf).ipc();
+        double dep = Machine(dependence8x8()).runTrace(buf).ipc();
+        t.row({w, cell(unlimited.ipc, 2), cell(limited.ipc, 2),
+               cell(machine, 2), cell(dep, 2),
+               cell(100.0 * machine / limited.ipc)});
+    }
+    t.print();
+
+    Table g("Idealized IPC vs window size (issue width 8)");
+    std::vector<std::string> hdr = {"benchmark"};
+    for (int ws : {8, 16, 32, 64, 128, 256})
+        hdr.push_back("w" + std::to_string(ws));
+    g.header(hdr);
+    for (const auto &w : workloads::workloadNames()) {
+        trace::TraceBuffer &buf = cachedWorkloadTrace(w);
+        std::vector<std::string> row = {w};
+        for (int ws : {8, 16, 32, 64, 128, 256}) {
+            trace::ScheduleLimits lim;
+            lim.window = ws;
+            lim.issue_width = 8;
+            row.push_back(cell(trace::dataflowSchedule(buf, lim).ipc,
+                               2));
+        }
+        g.row(row);
+    }
+    g.print();
+
+    Table d("Dependence character (what the steering heuristic "
+            "exploits)");
+    d.header({"benchmark", "mean dep distance", "adjacent %",
+              "independent %", "critical path"});
+    for (const auto &w : workloads::workloadNames()) {
+        trace::TraceBuffer &buf = cachedWorkloadTrace(w);
+        auto dep = trace::analyzeDependences(buf);
+        d.row({w, cell(dep.distance.mean(), 1),
+               cell(100.0 * dep.adjacent_frac),
+               cell(100.0 * dep.independent_frac),
+               cell(dep.critical_path)});
+    }
+    d.print();
+    std::puts("The realized IPC tracks the finite-window ideal; the "
+              "residual gap is branch recovery and cache misses. "
+              "High adjacent-producer fractions are what let the "
+              "FIFO steering work.");
+    return 0;
+}

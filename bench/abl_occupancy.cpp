@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: issue-buffer occupancy and issue-width utilization. The
+ * window's job is to hold enough not-yet-ready instructions to feed
+ * the issue width; this harness shows how full the 64-entry window
+ * actually runs, how often the full 8-wide issue is used, and how
+ * the FIFO organization's occupancy compares.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+int
+main()
+{
+    Table t("Issue-buffer occupancy and issue utilization");
+    t.header({"benchmark", "win mean occ", "win full %",
+              "fifo mean occ", "issue=0 %", "issue>=6 %"});
+    Machine win(baseline8Way());
+    Machine dep(dependence8x8());
+    for (const auto &w : workloads::allWorkloads()) {
+        auto sw = win.runWorkload(w.name);
+        auto sd = dep.runWorkload(w.name);
+
+        // Fraction of cycles the 64-entry window is (nearly) full.
+        uint64_t full = 0;
+        for (size_t b = 60; b < sw.buffer_occupancy.buckets(); ++b)
+            full += sw.buffer_occupancy.bucket(b);
+        double full_pct = 100.0 * static_cast<double>(full) /
+            static_cast<double>(sw.buffer_occupancy.total());
+
+        double wide = 0.0;
+        for (size_t b = 6; b < sw.issue_sizes.buckets(); ++b)
+            wide += sw.issue_sizes.fraction(b);
+
+        t.row({w.name, cell(sw.buffer_occupancy.mean()),
+               cell(full_pct), cell(sd.buffer_occupancy.mean()),
+               cell(100.0 * sw.issue_sizes.fraction(0)),
+               cell(100.0 * wide)});
+    }
+    t.print();
+    std::puts("The window runs far from full on most workloads and "
+              "8-wide issue cycles are rare — the slack the "
+              "dependence-based organization exploits: a few FIFO "
+              "heads expose enough ready instructions.");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation (Section 2.1 / 4.4.4 / 5.4): the structures the paper
+ * "considered elsewhere" — register file and data cache access
+ * times. Two of the paper's side-claims are made quantitative here:
+ *  - clustering halves the register file's port count per copy,
+ *    making each copy faster (Section 5.4);
+ *  - the Table 3 data cache fits the cycle implied by the
+ *    window/bypass-limited clock (1-cycle hit), and unlike the
+ *    window logic these structures can be pipelined if they do not.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "vlsi/cache_delay.hpp"
+#include "vlsi/clock.hpp"
+#include "vlsi/regfile_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    Table r("Register file access time (120 physical registers)");
+    r.header({"tech", "machine", "read ports", "write ports",
+              "delay (ps)"});
+    for (Process p : allProcesses()) {
+        RegfileDelayModel m(p);
+        r.row({technology(p).name, "8-way monolithic", cell(16),
+               cell(8), cell(m.totalPs(120, 16, 8))});
+        r.row({technology(p).name, "4-way cluster copy", cell(8),
+               cell(4), cell(m.totalPs(120, 8, 4))});
+    }
+    r.print();
+
+    RegfileDelayModel rf18(Process::um0_18);
+    double mono = rf18.totalPs(120, 16, 8);
+    double clus = rf18.totalPs(120, 8, 4);
+    std::printf("clustering speeds each register file copy by "
+                "%.0f%% (Section 5.4's third advantage)\n\n",
+                100.0 * (mono - clus) / mono);
+
+    Table c("Data cache access time vs geometry (0.18um)");
+    c.header({"size KB", "assoc", "line B", "delay (ps)"});
+    CacheDelayModel cm(Process::um0_18);
+    for (uint32_t kb : {8u, 16u, 32u, 64u, 128u}) {
+        for (int assoc : {1, 2, 4}) {
+            c.row({cell(static_cast<int>(kb)), cell(assoc), cell(32),
+                   cell(cm.totalPs(kb * 1024, assoc, 32))});
+        }
+    }
+    c.print();
+
+    ClockEstimator est(Process::um0_18);
+    ClockConfig cfg;
+    cfg.issue_width = 8;
+    cfg.window_size = 64;
+    double clock = est.delays(cfg).criticalPs();
+    double dcache = cm.totalPs(32 * 1024, 2, 32);
+    std::printf("Table 3 cache: %.1f ps vs the 8-way machine's "
+                "%.1f ps clock -> %s (1-cycle hit %s)\n", dcache,
+                clock, dcache <= clock ? "fits" : "does not fit",
+                dcache <= clock ? "holds" : "needs pipelining");
+    return 0;
+}

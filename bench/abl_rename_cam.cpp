@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation (Section 4.1.1): RAM versus CAM register renaming. The
+ * paper found the schemes comparable for its design space but the CAM
+ * less scalable — its entry count equals the physical register count,
+ * which grows with issue width.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "vlsi/rename_cam.hpp"
+#include "vlsi/rename_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    Table t("RAM vs CAM rename delay (ps)");
+    t.header({"tech", "issue", "phys regs", "RAM", "CAM",
+              "CAM/RAM"});
+    for (Process p : allProcesses()) {
+        RenameDelayModel ram(p);
+        RenameCamDelayModel cam(p);
+        for (auto [iw, regs] : {std::pair{4, 80}, std::pair{8, 128}}) {
+            double r = ram.totalPs(iw);
+            double c = cam.totalPs(iw, regs);
+            t.row({technology(p).name, cell(iw), cell(regs), cell(r),
+                   cell(c), cell(c / r, 2)});
+        }
+    }
+    t.print();
+
+    Table s("CAM scalability with physical register count (0.18um, "
+            "8-way)");
+    s.header({"phys regs", "RAM (ps)", "CAM (ps)"});
+    RenameDelayModel ram18(Process::um0_18);
+    RenameCamDelayModel cam18(Process::um0_18);
+    for (int regs : {80, 128, 192, 256, 384, 512}) {
+        s.row({cell(regs), cell(ram18.totalPs(8)),
+               cell(cam18.totalPs(8, regs))});
+    }
+    s.print();
+    std::puts("Paper: comparable for the design space studied; the "
+              "RAM scheme scales better because the map table's size "
+              "is fixed by the *logical* register count.");
+    return 0;
+}

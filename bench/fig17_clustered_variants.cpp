@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 17: the clustered design space — IPC (top graph) and
+ * inter-cluster bypass frequency (bottom graph) for the five
+ * organizations: ideal single-cluster window, 2-cluster FIFOs with
+ * dispatch steering, 2-cluster windows with dispatch steering,
+ * 2-cluster central window with execution-driven steering, and
+ * 2-cluster windows with random steering. The paper's findings:
+ * random steering degrades IPC 17-26%; execution-driven steering is
+ * within 6% of ideal; both dispatch-steered organizations are
+ * competitive; bypass frequency anticorrelates with IPC.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+int
+main()
+{
+    std::vector<uarch::SimConfig> configs = figure17Configs();
+    auto names = workloads::workloadNames();
+
+    // stats[config][workload]
+    std::vector<std::vector<uarch::SimStats>> stats;
+    for (const auto &cfg : configs) {
+        Machine m(cfg);
+        std::vector<uarch::SimStats> row;
+        for (const auto &w : names)
+            row.push_back(m.runWorkload(w));
+        stats.push_back(std::move(row));
+    }
+
+    Table t("Figure 17 (top): IPC of clustered microarchitectures");
+    std::vector<std::string> hdr = {"benchmark"};
+    for (const auto &cfg : configs)
+        hdr.push_back(cfg.name);
+    t.header(hdr);
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (size_t c = 0; c < configs.size(); ++c)
+            row.push_back(cell(stats[c][w].ipc(), 3));
+        t.row(row);
+    }
+    t.print();
+
+    Table b("Figure 17 (bottom): inter-cluster bypass frequency (%)");
+    b.header(hdr);
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (size_t c = 0; c < configs.size(); ++c)
+            row.push_back(cell(stats[c][w].interClusterPct()));
+        b.row(row);
+    }
+    b.print();
+
+    Table d("IPC degradation vs the ideal 1-cluster window (%)");
+    d.header(hdr);
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (size_t c = 0; c < configs.size(); ++c) {
+            double deg = 100.0 *
+                (1.0 - stats[c][w].ipc() / stats[0][w].ipc());
+            row.push_back(cell(deg));
+        }
+        d.row(row);
+    }
+    d.print();
+    std::puts("Paper: random steering degrades 17-26%; exec-driven "
+              "within 6% of ideal; dispatch-steered FIFOs and windows "
+              "competitive; higher bypass frequency <-> lower IPC.");
+    return 0;
+}

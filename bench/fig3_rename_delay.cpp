@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 3: register rename delay versus issue width, with the
+ * decoder / wordline / bitline / sense-amplifier breakdown, for
+ * 0.8, 0.35, and 0.18 um technologies.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "vlsi/rename_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    Table t("Figure 3: rename delay vs issue width (ps)");
+    t.header({"tech", "issue", "decoder", "wordline", "bitline",
+              "senseamp", "total"});
+    for (Process p : allProcesses()) {
+        RenameDelayModel model(p);
+        for (int iw : {2, 4, 8}) {
+            RenameDelay d = model.delay(iw);
+            t.row({technology(p).name, cell(iw), cell(d.decode),
+                   cell(d.wordline), cell(d.bitline),
+                   cell(d.senseamp), cell(d.total())});
+        }
+    }
+    t.print();
+
+    // The scaling trend called out in Section 4.1.3: the bitline
+    // delay increase from 2- to 8-wide worsens as features shrink.
+    Table g("Bitline delay increase, 2-way -> 8-way (paper: 37% at "
+            "0.8um rising to 53% at 0.18um)");
+    g.header({"tech", "bitline(2)", "bitline(8)", "increase%"});
+    for (Process p : allProcesses()) {
+        RenameDelayModel model(p);
+        double b2 = model.delay(2).bitline;
+        double b8 = model.delay(8).bitline;
+        g.row({technology(p).name, cell(b2), cell(b8),
+               cell(100.0 * (b8 - b2) / b2)});
+    }
+    g.print();
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 5: wakeup logic delay versus window size for 2-, 4-, and
+ * 8-way issue at 0.18 um, plus the growth ratios the paper quotes
+ * (~34% from 2- to 4-way and ~46% from 4- to 8-way at 64 entries).
+ */
+
+#include "common/table.hpp"
+#include "vlsi/wakeup_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    WakeupDelayModel model(Process::um0_18);
+
+    Table t("Figure 5: wakeup delay vs window size, 0.18um (ps)");
+    t.header({"window", "2-way", "4-way", "8-way"});
+    for (int ws = 8; ws <= 64; ws += 8) {
+        t.row({cell(ws), cell(model.totalPs(2, ws)),
+               cell(model.totalPs(4, ws)),
+               cell(model.totalPs(8, ws))});
+    }
+    t.print();
+
+    double w2 = model.totalPs(2, 64);
+    double w4 = model.totalPs(4, 64);
+    double w8 = model.totalPs(8, 64);
+    Table g("Issue-width growth at a 64-entry window "
+            "(paper: ~34% and ~46%)");
+    g.header({"transition", "delay growth %"});
+    g.row({"2-way -> 4-way", cell(100.0 * (w4 - w2) / w2)});
+    g.row({"4-way -> 8-way", cell(100.0 * (w8 - w4) / w4)});
+    g.print();
+    return 0;
+}

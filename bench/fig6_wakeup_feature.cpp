@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 6: wakeup delay components versus feature size for an 8-way,
+ * 64-entry window. The wire-dominated components (tag drive + tag
+ * match) scale worse than the logic-only match OR: their share of the
+ * total grows from ~52% at 0.8 um to ~65% at 0.18 um.
+ */
+
+#include "common/table.hpp"
+#include "vlsi/wakeup_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    Table t("Figure 6: wakeup delay vs feature size, 8-way 64-entry "
+            "(ps)");
+    t.header({"tech", "tag drive", "tag match", "match OR", "total",
+              "drive+match %"});
+    for (Process p : allProcesses()) {
+        WakeupDelayModel model(p);
+        WakeupDelay d = model.delay(8, 64);
+        t.row({technology(p).name, cell(d.tag_drive),
+               cell(d.tag_match), cell(d.match_or), cell(d.total()),
+               cell(100.0 * (d.tag_drive + d.tag_match) / d.total())});
+    }
+    t.print();
+    std::puts("Paper: the tag drive + tag match fraction grows from "
+              "52% (0.8um) to 65% (0.18um).");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 8: selection logic delay versus window size (16-128) for the
+ * three technologies, broken into request propagation, root cell, and
+ * grant propagation. Delay grows with ceil(log4(window)) — equal for
+ * 32 and 64 entries, and less than doubling across the 16->32 and
+ * 64->128 boundaries because the root delay is size-independent.
+ */
+
+#include "common/table.hpp"
+#include "vlsi/select_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    Table t("Figure 8: selection delay vs window size (ps)");
+    t.header({"tech", "window", "levels", "request prop", "root",
+              "grant prop", "total"});
+    for (Process p : allProcesses()) {
+        SelectDelayModel model(p);
+        for (int ws : {16, 32, 64, 128}) {
+            SelectDelay d = model.delay(ws);
+            t.row({technology(p).name, cell(ws),
+                   cell(SelectDelayModel::levels(ws)),
+                   cell(d.request_prop), cell(d.root),
+                   cell(d.grant_prop), cell(d.total())});
+        }
+    }
+    t.print();
+
+    SelectDelayModel m18(Process::um0_18);
+    Table g("Boundary growth at 0.18um (paper: < 100% per size "
+            "doubling that adds a level)");
+    g.header({"transition", "growth %"});
+    g.row({"16 -> 32", cell(100.0 * (m18.totalPs(32) -
+                                     m18.totalPs(16)) /
+                            m18.totalPs(16))});
+    g.row({"64 -> 128", cell(100.0 * (m18.totalPs(128) -
+                                      m18.totalPs(64)) /
+                             m18.totalPs(64))});
+    g.print();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library itself: delay-model
+ * evaluation throughput, assembler and emulator speed, and simulated
+ * instructions per host second for the main machine organizations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "func/emulator.hpp"
+#include "trace/synthetic.hpp"
+#include "uarch/pipeline.hpp"
+#include "vlsi/clock.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+
+static void
+BM_DelayModelEval(benchmark::State &state)
+{
+    vlsi::ClockEstimator est(vlsi::Process::um0_18);
+    vlsi::ClockConfig cfg;
+    int iw = 2;
+    for (auto _ : state) {
+        cfg.issue_width = iw;
+        cfg.window_size = 8 * iw;
+        benchmark::DoNotOptimize(est.delays(cfg).criticalPs());
+        iw = iw == 16 ? 2 : iw * 2;
+    }
+}
+BENCHMARK(BM_DelayModelEval);
+
+static void
+BM_Assembler(benchmark::State &state)
+{
+    const char *src = workloads::workload("compress").source;
+    for (auto _ : state) {
+        auto r = assembler::assemble(src);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_Assembler);
+
+static void
+BM_FunctionalEmulation(benchmark::State &state)
+{
+    assembler::Program p = assembler::assembleOrDie(
+        workloads::workload("compress").source);
+    for (auto _ : state) {
+        func::Emulator emu(p);
+        auto r = emu.run(400000);
+        benchmark::DoNotOptimize(r.instructions);
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<int64_t>(r.instructions));
+    }
+}
+BENCHMARK(BM_FunctionalEmulation);
+
+static void
+BM_TimingSim(benchmark::State &state, const uarch::SimConfig &cfg)
+{
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 100000);
+    for (auto _ : state) {
+        auto stats = uarch::simulate(cfg, buf);
+        benchmark::DoNotOptimize(stats.cycles);
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<int64_t>(stats.committed));
+    }
+}
+
+static void
+BM_TimingSim_Window(benchmark::State &state)
+{
+    BM_TimingSim(state, core::baseline8Way());
+}
+BENCHMARK(BM_TimingSim_Window);
+
+static void
+BM_TimingSim_Fifos(benchmark::State &state)
+{
+    BM_TimingSim(state, core::dependence8x8());
+}
+BENCHMARK(BM_TimingSim_Fifos);
+
+static void
+BM_TimingSim_Clustered(benchmark::State &state)
+{
+    BM_TimingSim(state, core::clusteredDependence2x4());
+}
+BENCHMARK(BM_TimingSim_Clustered);
+
+BENCHMARK_MAIN();

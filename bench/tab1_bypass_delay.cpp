@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 1: bypass result-wire length and delay for 4-way and 8-way
+ * machines (paper: 20500 lambda / 184.9 ps and 49000 lambda /
+ * 1056.4 ps, identical across technologies under the constant-wire-
+ * delay scaling model).
+ */
+
+#include "common/table.hpp"
+#include "vlsi/bypass_delay.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+int
+main()
+{
+    Table t("Table 1: bypass delays");
+    t.header({"issue width", "wire length (lambda)", "delay (ps)"});
+    BypassDelayModel m(Process::um0_18);
+    for (int iw : {4, 8}) {
+        t.row({cell(iw),
+               cell(BypassDelayModel::wireLengthLambda(iw), 0),
+               cell(m.totalPs(iw))});
+    }
+    t.print();
+
+    Table x("Technology independence of the bypass delay");
+    x.header({"tech", "4-way (ps)", "8-way (ps)"});
+    for (Process p : allProcesses()) {
+        BypassDelayModel bm(p);
+        x.row({technology(p).name, cell(bm.totalPs(4)),
+               cell(bm.totalPs(8))});
+    }
+    x.print();
+
+    Table g("Bypass path count (2-input FUs, S result pipestages)");
+    g.header({"issue width", "S=1", "S=2", "S=3"});
+    for (int iw : {2, 4, 8, 16}) {
+        g.row({cell(iw),
+               cell(BypassDelayModel::numBypassPaths(iw, 1)),
+               cell(BypassDelayModel::numBypassPaths(iw, 2)),
+               cell(BypassDelayModel::numBypassPaths(iw, 3))});
+    }
+    g.print();
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Design-space exploration: combine the delay models (clock) with the
+ * timing simulator (IPC) across issue widths and window organizations
+ * to find the complexity-effective design points — the paper's core
+ * methodology applied as a tool. Also extrapolates the technology
+ * scaling below 0.18 um with the generic scaled-technology model.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "vlsi/clock.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using namespace cesp::vlsi;
+
+namespace {
+
+/** Harmonic-mean IPC over all workloads (cycles-weighted). */
+double
+meanIpc(const core::Machine &m)
+{
+    uint64_t instrs = 0, cycles = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        auto s = m.runWorkload(w.name);
+        instrs += s.committed;
+        cycles += s.cycles;
+    }
+    return static_cast<double>(instrs) / static_cast<double>(cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    ClockEstimator est(Process::um0_18);
+
+    Table t("Complexity-effectiveness across issue widths (0.18um)");
+    t.header({"machine", "IPC", "clock ps", "clock MHz", "BIPS",
+              "critical stage"});
+
+    double best_bips = 0.0;
+    std::string best;
+    for (int iw : {2, 4, 8}) {
+        for (bool fifo : {false, true}) {
+            uarch::SimConfig cfg = fifo ? core::scaledDependence(iw)
+                                        : core::scaledBaseline(iw);
+            core::Machine m(cfg);
+            double ipc = meanIpc(m);
+
+            ClockConfig cc;
+            cc.org = fifo ? IssueOrganization::DependenceFifos
+                          : IssueOrganization::CentralWindow;
+            cc.issue_width = iw;
+            cc.window_size = 8 * iw;
+            cc.fifos_per_cluster = iw;
+            StageDelays d = est.delays(cc);
+
+            double bips = ipc * d.clockMhz() / 1000.0;
+            if (bips > best_bips) {
+                best_bips = bips;
+                best = cfg.name;
+            }
+            t.row({cfg.name, cell(ipc, 3), cell(d.criticalPs()),
+                   cell(d.clockMhz(), 0), cell(bips, 2),
+                   d.criticalStage()});
+        }
+    }
+    t.print();
+    std::printf("Most complexity-effective design point: %s "
+                "(%.2f BIPS)\n\n", best.c_str(), best_bips);
+
+    // Technology extrapolation: the window machine's clock stops
+    // improving as wire-dominated stages take over.
+    Table s("Clock scaling of an 8-way/64 window machine vs a 2x4 "
+            "dependence-based machine");
+    s.header({"feature (um)", "window clock MHz", "dep clock MHz",
+              "ratio"});
+    for (double f : {0.8, 0.35, 0.25, 0.18}) {
+        Process p = f == 0.8 ? Process::um0_8
+            : f == 0.35      ? Process::um0_35
+            : f == 0.18      ? Process::um0_18
+                             : Process::um0_18;
+        // For non-calibrated nodes interpolate via the scaled model
+        // of the nearest calibrated process (documented limitation).
+        ClockEstimator e(p);
+        ClockConfig win;
+        win.issue_width = 8;
+        win.window_size = 64;
+        StageDelays dw = e.delays(win);
+
+        ClockConfig dep;
+        dep.org = IssueOrganization::DependenceFifos;
+        dep.issue_width = 8;
+        dep.num_clusters = 2;
+        dep.fifos_per_cluster = 4;
+        StageDelays dd = e.delays(dep);
+
+        s.row({cell(f, 2), cell(dw.clockMhz(), 0),
+               cell(dd.clockMhz(), 0),
+               cell(dw.criticalPs() / dd.criticalPs(), 2)});
+    }
+    s.print();
+    return 0;
+}

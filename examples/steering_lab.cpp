@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Steering lab: a Figure 12-style visualization of the dependence-
+ * based steering heuristic. Runs a short code fragment through the
+ * dependence-based machine and prints, per dynamic instruction, the
+ * FIFO it was steered to and the cycles at which it dispatched and
+ * issued — showing chains of dependent instructions lining up in the
+ * same FIFO and independent chains going to different FIFOs.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "func/emulator.hpp"
+#include "isa/disasm.hpp"
+#include "uarch/pipeline.hpp"
+
+using namespace cesp;
+
+// A fragment in the spirit of the paper's Figure 12: interleaved
+// dependence chains (an address computation chain, a counter chain,
+// and independent loads).
+static const char *kFragment = R"ASM(
+        .data
+tbl:    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+cnt:    .word 0
+        .text
+main:   la   s0, tbl
+        li   s1, 0          # loop counter
+        li   s2, 0          # sum chain
+        li   s3, 1          # product chain
+loop:   slli t0, s1, 2      # chain A: index -> address -> load
+        add  t1, s0, t0
+        lw   t2, 0(t1)
+        add  s2, s2, t2     # chain B: sum += value
+        slli t3, t2, 1      # chain C: independent transform
+        addi t4, t3, 5
+        mul  s3, s3, t4     # chain D: product
+        addi s1, s1, 1      # counter chain
+        slti t5, s1, 16
+        bnez t5, loop
+        la   t6, cnt
+        sw   s2, 0(t6)
+        halt
+)ASM";
+
+int
+main()
+{
+    trace::TraceBuffer buf;
+    func::runProgram(kFragment, 100000, &buf);
+
+    uarch::SimConfig cfg = core::dependence8x8();
+    uarch::Pipeline pipe(cfg, buf);
+
+    struct Event
+    {
+        uarch::DynInst inst;
+        uint64_t issue = 0;
+    };
+    std::vector<Event> events;
+    std::map<uint64_t, size_t> by_seq;
+
+    pipe.setDispatchObserver([&](const uarch::DynInst &d) {
+        by_seq[d.seq] = events.size();
+        events.push_back({d, 0});
+    });
+    pipe.setIssueObserver([&](const uarch::DynInst &d) {
+        events[by_seq[d.seq]].issue = d.issue_cycle;
+    });
+
+    uarch::SimStats stats = pipe.run();
+
+    std::printf("Dependence-based steering of %zu dynamic "
+                "instructions (8 FIFOs x 8 entries):\n\n",
+                events.size());
+    std::printf("%5s  %4s  %8s  %6s  %-28s\n", "seq", "fifo",
+                "dispatch", "issue", "instruction");
+    size_t shown = 0;
+    for (const Event &e : events) {
+        if (shown++ >= 40) {
+            std::printf("  ... (%zu more)\n", events.size() - shown + 1);
+            break;
+        }
+        uint32_t raw = 0; // reconstruct text from the trace op
+        (void)raw;
+        std::printf("%5llu  %4d  %8llu  %6llu  pc=0x%08x %s\n",
+                    (unsigned long long)e.inst.seq, e.inst.fifo,
+                    (unsigned long long)e.inst.dispatch_cycle,
+                    (unsigned long long)e.issue, e.inst.op.pc,
+                    isa::opInfo(e.inst.op.op).mnemonic);
+    }
+
+    std::printf("\nIPC %.3f over %llu cycles\n", stats.ipc(),
+                (unsigned long long)stats.cycles);
+    std::puts("Dependent instructions (e.g. the slli/add/lw address "
+              "chain) share a FIFO; independent chains occupy "
+              "separate FIFOs and issue in parallel.");
+    return 0;
+}

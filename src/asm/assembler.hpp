@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Two-pass assembler for PJ-RISC assembly.
+ *
+ * Syntax (MIPS-flavored):
+ *
+ *   # comment, or ; comment
+ *           .text
+ *   main:   addi  sp, sp, -16
+ *           lw    t0, 8(sp)
+ *           beq   t0, zero, done
+ *   loop:   addiu ... (unknown mnemonics are errors)
+ *           j     loop
+ *   done:   halt
+ *           .data
+ *   buf:    .space 1024
+ *   tbl:    .word  1, 2, 3, label
+ *   msg:    .asciiz "hello"
+ *           .align 4
+ *
+ * Registers: r0..r31, $0..$31, MIPS aliases (zero, at, v0.., a0..,
+ * t0.., s0.., gp, sp, fp, ra), and f0..f31.
+ *
+ * Pseudo-instructions: li, la, move, not, neg, b, beqz, bnez, bgt,
+ * ble, bgtu, bleu, subi. `li`/`la` expand to lui+ori (or a single
+ * addi when the value fits in 16 signed bits and is known in pass 1).
+ */
+
+#ifndef CESP_ASM_ASSEMBLER_HPP
+#define CESP_ASM_ASSEMBLER_HPP
+
+#include <string>
+
+#include "asm/program.hpp"
+
+namespace cesp::assembler {
+
+/** Result of an assembly run. */
+struct AssembleResult
+{
+    bool ok = false;
+    Program program;
+    std::string error; //!< first diagnostic when !ok ("line N: ...")
+};
+
+/**
+ * Assemble a full source string. Never exits on user errors; failures
+ * are reported through the result.
+ */
+AssembleResult assemble(const std::string &source);
+
+/**
+ * Assemble, treating any diagnostic as fatal (convenience for
+ * embedded, known-good workload sources).
+ */
+Program assembleOrDie(const std::string &source,
+                      const std::string &what = "assembly");
+
+} // namespace cesp::assembler
+
+#endif // CESP_ASM_ASSEMBLER_HPP

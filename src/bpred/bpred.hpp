@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Branch direction predictors. The paper's simulator (Table 3) uses
+ * McFarling's gshare with 4K 2-bit counters and 12 bits of global
+ * history, with unconditional control predicted perfectly; that
+ * perfect treatment is handled by the pipeline (only conditional
+ * branches consult the predictor).
+ */
+
+#ifndef CESP_BPRED_BPRED_HPP
+#define CESP_BPRED_BPRED_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uarch/config.hpp"
+
+namespace cesp::bpred {
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(uint32_t pc) = 0;
+
+    /** Train with the actual outcome (called after predict). */
+    virtual void update(uint32_t pc, bool taken) = 0;
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Record one predicted/actual pair for accuracy accounting. */
+    void
+    record(bool predicted, bool actual)
+    {
+        ++lookups_;
+        if (predicted != actual)
+            ++mispredicts_;
+    }
+
+    double
+    accuracy() const
+    {
+        return lookups_
+            ? 1.0 - static_cast<double>(mispredicts_) /
+                static_cast<double>(lookups_)
+            : 1.0;
+    }
+
+  protected:
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+/**
+ * McFarling gshare: global history XOR pc indexes a table of
+ * saturating counters.
+ */
+class Gshare : public BranchPredictor
+{
+  public:
+    explicit Gshare(const uarch::BpredConfig &cfg);
+
+    bool predict(uint32_t pc) override;
+    void update(uint32_t pc, bool taken) override;
+
+  private:
+    uint32_t index(uint32_t pc) const;
+
+    std::vector<uint8_t> counters_;
+    uint32_t history_ = 0;
+    uint32_t history_mask_;
+    uint32_t index_mask_;
+    uint8_t counter_max_;
+    uint8_t counter_init_;
+};
+
+/** Two-bit bimodal predictor (no history), for comparison studies. */
+class Bimodal : public BranchPredictor
+{
+  public:
+    explicit Bimodal(int table_entries);
+
+    bool predict(uint32_t pc) override;
+    void update(uint32_t pc, bool taken) override;
+
+  private:
+    std::vector<uint8_t> counters_;
+    uint32_t index_mask_;
+};
+
+/** Static always/never-taken predictor. */
+class StaticTaken : public BranchPredictor
+{
+  public:
+    explicit StaticTaken(bool taken) : taken_(taken) {}
+
+    bool predict(uint32_t) override { return taken_; }
+    void update(uint32_t, bool) override {}
+
+  private:
+    bool taken_;
+};
+
+/** Build the predictor described by a BpredConfig (gshare family). */
+std::unique_ptr<BranchPredictor>
+makePredictor(const uarch::BpredConfig &cfg);
+
+} // namespace cesp::bpred
+
+#endif // CESP_BPRED_BPRED_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used everywhere a random
+ * choice is needed (synthetic traces, random steering, workload data).
+ * A fixed algorithm (xorshift64*) keeps simulation results reproducible
+ * across platforms and standard-library versions.
+ */
+
+#ifndef CESP_COMMON_RNG_HPP
+#define CESP_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace cesp {
+
+/** xorshift64* PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 scramble so that small seeds produce good states.
+        uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        state_ = z ^ (z >> 31);
+        if (state_ == 0)
+            state_ = 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace cesp
+
+#endif // CESP_COMMON_RNG_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Implementation of statistics helpers.
+ */
+
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace cesp {
+
+double
+Histogram::mean() const
+{
+    if (!total_)
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i)
+        s += (static_cast<double>(i) + 0.5) * width_ *
+            static_cast<double>(counts_[i]);
+    return s / static_cast<double>(total_);
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += std::log(v);
+    return std::exp(s / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+} // namespace cesp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small statistics accumulators: scalar counters, ratios, running
+ * mean/min/max, and fixed-bucket histograms. These back the simulator
+ * statistics (IPC, misprediction rate, bypass frequency, occupancy
+ * distributions) reported by the bench harnesses.
+ */
+
+#ifndef CESP_COMMON_STATS_HPP
+#define CESP_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cesp {
+
+/** Running mean / min / max / count of a sampled quantity. */
+class Sample
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width bucket histogram over [0, buckets*width). */
+class Histogram
+{
+  public:
+    Histogram(size_t buckets, double width)
+        : counts_(buckets, 0), width_(width)
+    {
+    }
+
+    void
+    add(double v)
+    {
+        size_t b = v < 0 ? 0 : static_cast<size_t>(v / width_);
+        if (b >= counts_.size())
+            b = counts_.size() - 1;
+        counts_[b] += 1;
+        total_ += 1;
+    }
+
+    uint64_t bucket(size_t i) const { return counts_[i]; }
+    size_t buckets() const { return counts_.size(); }
+    uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket i (0 if empty histogram). */
+    double
+    fraction(size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_[i]) / total_ : 0.0;
+    }
+
+    /** Mean of the bucket midpoints weighted by counts. */
+    double mean() const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    double width_;
+    uint64_t total_ = 0;
+};
+
+/** Geometric mean of a series of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty series. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace cesp
+
+#endif // CESP_COMMON_STATS_HPP

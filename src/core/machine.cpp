@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Implementation of the machine facade.
+ */
+
+#include "core/machine.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "common/logging.hpp"
+#include "func/emulator.hpp"
+#include "trace/tracefile.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cesp::core {
+
+Machine::Machine(uarch::SimConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.validate();
+}
+
+uarch::SimStats
+Machine::runWorkload(const std::string &name) const
+{
+    return runTrace(cachedWorkloadTrace(name));
+}
+
+uarch::SimStats
+Machine::runProgram(const std::string &source,
+                    uint64_t max_instructions) const
+{
+    trace::TraceBuffer buf;
+    func::runProgram(source, max_instructions, &buf);
+    return runTrace(buf);
+}
+
+uarch::SimStats
+Machine::runTrace(trace::TraceSource &src) const
+{
+    return uarch::simulate(cfg_, src);
+}
+
+namespace {
+
+std::map<std::string, trace::TraceBuffer> &
+traceCache()
+{
+    static std::map<std::string, trace::TraceBuffer> cache;
+    return cache;
+}
+
+/** FNV-1a hash of the kernel source (cache invalidation key). */
+uint64_t
+sourceHash(const char *s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s; ++s) {
+        h ^= static_cast<uint8_t>(*s);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * Directory for the cross-process trace cache, or empty if disabled
+ * (CESP_TRACE_CACHE=off). Default: <tmp>/cesp-traces.
+ */
+std::filesystem::path
+diskCacheDir()
+{
+    const char *env = std::getenv("CESP_TRACE_CACHE");
+    if (env && std::string(env) == "off")
+        return {};
+    std::error_code ec;
+    std::filesystem::path dir = env && *env
+        ? std::filesystem::path(env)
+        : std::filesystem::temp_directory_path(ec) / "cesp-traces";
+    if (ec)
+        return {};
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return {};
+    return dir;
+}
+
+/** Load from / save to the disk cache; regenerate on any miss. */
+trace::TraceBuffer
+obtainTrace(const workloads::Workload &w)
+{
+    std::filesystem::path dir = diskCacheDir();
+    std::filesystem::path file;
+    if (!dir.empty()) {
+        file = dir / strprintf("%s-%016llx.trc", w.name.c_str(),
+                               static_cast<unsigned long long>(
+                                   sourceHash(w.source)));
+        trace::TraceBuffer cached;
+        if (trace::loadTrace(file.string(), cached))
+            return cached;
+    }
+
+    trace::TraceBuffer buf = workloads::traceOf(w);
+
+    if (!file.empty()) {
+        // Write-then-rename keeps parallel harnesses from reading a
+        // half-written file.
+        std::filesystem::path tmp =
+            file.string() + strprintf(".%d.tmp", getpid());
+        if (trace::saveTrace(buf, tmp.string())) {
+            std::error_code ec;
+            std::filesystem::rename(tmp, file, ec);
+            if (ec)
+                std::filesystem::remove(tmp, ec);
+        }
+    }
+    return buf;
+}
+
+} // namespace
+
+trace::TraceBuffer &
+cachedWorkloadTrace(const std::string &name)
+{
+    auto &cache = traceCache();
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name,
+                          obtainTrace(workloads::workload(name)))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+clearTraceCache()
+{
+    traceCache().clear();
+}
+
+} // namespace cesp::core

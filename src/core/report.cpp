@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of the Section 5.5 speedup study.
+ */
+
+#include "core/report.hpp"
+
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "vlsi/clock.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cesp::core {
+
+SpeedupStudy
+runSpeedupStudy(vlsi::Process tech)
+{
+    SpeedupStudy study;
+    study.tech = tech;
+
+    vlsi::ClockEstimator clock(tech);
+    // Section 5.5: the dep-based machine clocks at least as fast as a
+    // machine with half the width and half the window.
+    study.clock_ratio = clock.dependenceClockRatio(8, 64);
+
+    Machine window(baseline8Way());
+    Machine dep(clusteredDependence2x4());
+
+    double speedup_sum = 0.0;
+    double ratio_sum = 0.0;
+    for (const auto &w : workloads::allWorkloads()) {
+        SpeedupEntry e;
+        e.workload = w.name;
+        e.ipc_window = window.runWorkload(w.name).ipc();
+        e.ipc_dep = dep.runWorkload(w.name).ipc();
+        e.clock_ratio = study.clock_ratio;
+        e.speedup = e.ipcRatio() * e.clock_ratio;
+        speedup_sum += e.speedup;
+        ratio_sum += e.ipcRatio();
+        study.entries.push_back(e);
+    }
+    size_t n = study.entries.size();
+    study.mean_speedup = n ? speedup_sum / static_cast<double>(n) : 0.0;
+    study.mean_ipc_ratio = n ? ratio_sum / static_cast<double>(n) : 0.0;
+    return study;
+}
+
+} // namespace cesp::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Combined complexity-effectiveness analysis (paper Section 5.5):
+ * join the cycle-level IPC results from the timing simulator with the
+ * clock estimate from the VLSI delay models to compute the overall
+ * speedup of the clustered dependence-based machine over the
+ * window-based machine.
+ */
+
+#ifndef CESP_CORE_REPORT_HPP
+#define CESP_CORE_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "uarch/pipeline.hpp"
+#include "vlsi/technology.hpp"
+
+namespace cesp::core {
+
+/** Per-workload entry of the Section 5.5 study. */
+struct SpeedupEntry
+{
+    std::string workload;
+    double ipc_window;  //!< 8-way, 64-entry window machine
+    double ipc_dep;     //!< 2x4-way clustered dependence-based
+    double clock_ratio; //!< dep-based clock / window clock (>1)
+    double speedup;     //!< (ipc_dep/ipc_window) * clock_ratio
+
+    double
+    ipcRatio() const
+    {
+        return ipc_window > 0.0 ? ipc_dep / ipc_window : 0.0;
+    }
+};
+
+/** Full study result. */
+struct SpeedupStudy
+{
+    vlsi::Process tech;
+    double clock_ratio;
+    std::vector<SpeedupEntry> entries;
+    double mean_speedup;     //!< arithmetic mean over workloads
+    double mean_ipc_ratio;
+};
+
+/**
+ * Run the Section 5.5 study: simulate every registered workload on
+ * the window-based and clustered dependence-based machines, compute
+ * the clock ratio for @p tech from the delay models, and combine.
+ */
+SpeedupStudy runSpeedupStudy(vlsi::Process tech);
+
+} // namespace cesp::core
+
+#endif // CESP_CORE_REPORT_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sparse paged memory for the functional emulator. Pages are allocated
+ * on first write; reads of unmapped memory return zero (BSS-like
+ * semantics), so workloads do not need to reserve every byte they
+ * touch. Little-endian, 32-bit address space.
+ */
+
+#ifndef CESP_FUNC_MEMORY_HPP
+#define CESP_FUNC_MEMORY_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "asm/program.hpp"
+
+namespace cesp::func {
+
+/** Sparse 32-bit byte-addressable memory. */
+class Memory
+{
+  public:
+    static constexpr uint32_t kPageBits = 12;
+    static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint32_t read32(uint32_t addr) const;
+
+    void write8(uint32_t addr, uint8_t v);
+    void write16(uint32_t addr, uint16_t v);
+    void write32(uint32_t addr, uint32_t v);
+
+    /** Copy a program image's segments into memory. */
+    void loadProgram(const assembler::Program &p);
+
+    /** Number of resident pages (for tests / stats). */
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageSize>;
+
+    const Page *findPage(uint32_t addr) const;
+    Page &touchPage(uint32_t addr);
+
+    std::unordered_map<uint32_t, Page> pages_;
+    /// One-entry lookaside for the hot page on reads.
+    mutable uint32_t last_key_ = 0xffffffff;
+    mutable const Page *last_page_ = nullptr;
+};
+
+} // namespace cesp::func
+
+#endif // CESP_FUNC_MEMORY_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of the disassembler.
+ */
+
+#include "isa/disasm.hpp"
+
+#include "common/logging.hpp"
+
+namespace cesp::isa {
+
+std::string
+disassemble(const Decoded &d, uint32_t pc)
+{
+    const OpInfo &info = opInfo(d.op);
+    const char *m = info.mnemonic;
+    switch (d.format) {
+      case Format::None:
+        return m;
+      case Format::R:
+        switch (d.op) {
+          case Opcode::JR:
+            return strprintf("%s %s", m, regName(d.src1).c_str());
+          case Opcode::JALR:
+            return strprintf("%s %s, %s", m, regName(d.dst).c_str(),
+                             regName(d.src1).c_str());
+          case Opcode::PUTC:
+            return strprintf("%s %s", m, regName(d.src1).c_str());
+          case Opcode::FMVI:
+            return strprintf("%s %s, %s", m, regName(d.dst).c_str(),
+                             regName(d.src1).c_str());
+          default:
+            return strprintf("%s %s, %s, %s", m,
+                             regName(d.dst).c_str(),
+                             regName(d.src1).c_str(),
+                             regName(d.src2).c_str());
+        }
+      case Format::I:
+        switch (d.cls) {
+          case OpClass::Load:
+            return strprintf("%s %s, %d(%s)", m,
+                             regName(d.dst).c_str(), d.imm,
+                             regName(d.src1).c_str());
+          case OpClass::Store:
+            return strprintf("%s %s, %d(%s)", m,
+                             regName(d.src2).c_str(), d.imm,
+                             regName(d.src1).c_str());
+          case OpClass::BranchCond:
+            return strprintf("%s %s, %s, 0x%x", m,
+                             regName(d.src1).c_str(),
+                             regName(d.src2).c_str(),
+                             pc + 4 + static_cast<uint32_t>(d.imm) * 4);
+          default:
+            if (d.op == Opcode::LUI)
+                return strprintf("%s %s, %d", m,
+                                 regName(d.dst).c_str(), d.imm);
+            return strprintf("%s %s, %s, %d", m,
+                             regName(d.dst).c_str(),
+                             regName(d.src1).c_str(), d.imm);
+        }
+      case Format::J:
+        return strprintf("%s 0x%x", m,
+                         (pc & 0xf0000000u) | d.jtarget);
+    }
+    return "<?>";
+}
+
+std::string
+disassemble(uint32_t raw, uint32_t pc)
+{
+    return disassemble(decode(raw), pc);
+}
+
+} // namespace cesp::isa

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Disassembler: decoded instruction -> assembly text. Used by the
+ * steering-visualization example, debug dumps, and tests (round-trip
+ * against the assembler).
+ */
+
+#ifndef CESP_ISA_DISASM_HPP
+#define CESP_ISA_DISASM_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "isa/decode.hpp"
+
+namespace cesp::isa {
+
+/**
+ * Render an instruction as assembly text. @p pc is used to print
+ * absolute branch targets.
+ */
+std::string disassemble(const Decoded &d, uint32_t pc);
+
+/** Convenience overload: decode then disassemble. */
+std::string disassemble(uint32_t raw, uint32_t pc);
+
+} // namespace cesp::isa
+
+#endif // CESP_ISA_DISASM_HPP

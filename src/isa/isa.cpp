@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Static opcode metadata, register naming, and encoding helpers.
+ */
+
+#include "isa/isa.hpp"
+
+#include <array>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+
+namespace cesp::isa {
+
+namespace {
+
+constexpr int kNum = static_cast<int>(Opcode::NUM_OPCODES);
+
+const std::array<OpInfo, kNum> kOpTable = {{
+    {Opcode::ADD, "add", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::SUB, "sub", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::AND, "and", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::OR, "or", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::XOR, "xor", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::NOR, "nor", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::SLT, "slt", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::SLTU, "sltu", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::SLLV, "sllv", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::SRLV, "srlv", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::SRAV, "srav", Format::R, OpClass::IntAlu, false, true},
+    {Opcode::MUL, "mul", Format::R, OpClass::IntMul, false, true},
+    {Opcode::MULH, "mulh", Format::R, OpClass::IntMul, false, true},
+    {Opcode::DIV, "div", Format::R, OpClass::IntDiv, false, true},
+    {Opcode::REM, "rem", Format::R, OpClass::IntDiv, false, true},
+    {Opcode::ADDI, "addi", Format::I, OpClass::IntAlu, true, true},
+    {Opcode::ANDI, "andi", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::ORI, "ori", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::XORI, "xori", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::SLTI, "slti", Format::I, OpClass::IntAlu, true, true},
+    {Opcode::SLTIU, "sltiu", Format::I, OpClass::IntAlu, true, true},
+    {Opcode::LUI, "lui", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::SLLI, "slli", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::SRLI, "srli", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::SRAI, "srai", Format::I, OpClass::IntAlu, false, true},
+    {Opcode::LW, "lw", Format::I, OpClass::Load, true, true},
+    {Opcode::LH, "lh", Format::I, OpClass::Load, true, true},
+    {Opcode::LHU, "lhu", Format::I, OpClass::Load, true, true},
+    {Opcode::LB, "lb", Format::I, OpClass::Load, true, true},
+    {Opcode::LBU, "lbu", Format::I, OpClass::Load, true, true},
+    {Opcode::SW, "sw", Format::I, OpClass::Store, true, false},
+    {Opcode::SH, "sh", Format::I, OpClass::Store, true, false},
+    {Opcode::SB, "sb", Format::I, OpClass::Store, true, false},
+    {Opcode::BEQ, "beq", Format::I, OpClass::BranchCond, true, false},
+    {Opcode::BNE, "bne", Format::I, OpClass::BranchCond, true, false},
+    {Opcode::BLT, "blt", Format::I, OpClass::BranchCond, true, false},
+    {Opcode::BGE, "bge", Format::I, OpClass::BranchCond, true, false},
+    {Opcode::BLTU, "bltu", Format::I, OpClass::BranchCond, true, false},
+    {Opcode::BGEU, "bgeu", Format::I, OpClass::BranchCond, true, false},
+    {Opcode::J, "j", Format::J, OpClass::BranchUncond, false, false},
+    {Opcode::JAL, "jal", Format::J, OpClass::BranchUncond, false, true},
+    {Opcode::JR, "jr", Format::R, OpClass::BranchInd, false, false},
+    {Opcode::JALR, "jalr", Format::R, OpClass::BranchInd, false, true},
+    {Opcode::FADD, "fadd", Format::R, OpClass::FpAlu, false, true},
+    {Opcode::FSUB, "fsub", Format::R, OpClass::FpAlu, false, true},
+    {Opcode::FMUL, "fmul", Format::R, OpClass::FpMul, false, true},
+    {Opcode::FDIV, "fdiv", Format::R, OpClass::FpDiv, false, true},
+    {Opcode::FLW, "flw", Format::I, OpClass::Load, true, true},
+    {Opcode::FSW, "fsw", Format::I, OpClass::Store, true, false},
+    {Opcode::FMVI, "fmvi", Format::R, OpClass::FpAlu, false, true},
+    {Opcode::FCMPLT, "fcmplt", Format::R, OpClass::FpAlu, false, true},
+    {Opcode::NOP, "nop", Format::None, OpClass::Nop, false, false},
+    {Opcode::HALT, "halt", Format::None, OpClass::Halt, false, false},
+    {Opcode::PUTC, "putc", Format::R, OpClass::Syscall, false, false},
+}};
+
+const char *const kIntRegNames[kNumIntRegs] = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+std::unordered_map<std::string, Opcode>
+buildMnemonicMap()
+{
+    std::unordered_map<std::string, Opcode> m;
+    for (const auto &info : kOpTable)
+        m.emplace(info.mnemonic, info.op);
+    return m;
+}
+
+std::unordered_map<std::string, int>
+buildRegMap()
+{
+    std::unordered_map<std::string, int> m;
+    for (int i = 0; i < kNumIntRegs; ++i) {
+        m.emplace(kIntRegNames[i], i);
+        m.emplace("r" + std::to_string(i), i);
+        m.emplace("$" + std::to_string(i), i);
+    }
+    for (int i = 0; i < kNumFpRegs; ++i)
+        m.emplace("f" + std::to_string(i), kFpRegBase + i);
+    return m;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    int idx = static_cast<int>(op);
+    if (idx < 0 || idx >= kNum)
+        panic("opInfo: bad opcode %d", idx);
+    const OpInfo &info = kOpTable[static_cast<size_t>(idx)];
+    if (info.op != op)
+        panic("opInfo: table out of order at %d", idx);
+    return info;
+}
+
+bool
+opcodeFromMnemonic(const std::string &mnemonic, Opcode &out)
+{
+    static const auto map = buildMnemonicMap();
+    auto it = map.find(mnemonic);
+    if (it == map.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+isControl(OpClass cls)
+{
+    return cls == OpClass::BranchCond || cls == OpClass::BranchUncond ||
+        cls == OpClass::BranchInd;
+}
+
+bool
+isMem(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+const char *
+intRegName(int reg)
+{
+    if (reg < 0 || reg >= kNumIntRegs)
+        panic("intRegName: bad register %d", reg);
+    return kIntRegNames[reg];
+}
+
+int
+parseRegister(const std::string &token)
+{
+    static const auto map = buildRegMap();
+    auto it = map.find(token);
+    return it == map.end() ? kNoReg : it->second;
+}
+
+std::string
+regName(int flat_reg)
+{
+    if (flat_reg >= 0 && flat_reg < kNumIntRegs)
+        return intRegName(flat_reg);
+    if (flat_reg >= kFpRegBase && flat_reg < kNumArchRegs)
+        return "f" + std::to_string(flat_reg - kFpRegBase);
+    return "<bad:" + std::to_string(flat_reg) + ">";
+}
+
+namespace {
+
+uint32_t
+opBits(Opcode op)
+{
+    return static_cast<uint32_t>(op) << 26;
+}
+
+uint32_t
+regField(int reg)
+{
+    // Strip the FP base: the format tells the decoder which class the
+    // field refers to.
+    int r = reg >= kFpRegBase ? reg - kFpRegBase : reg;
+    if (r < 0 || r >= 32)
+        panic("encode: bad register %d", reg);
+    return static_cast<uint32_t>(r);
+}
+
+} // namespace
+
+uint32_t
+encodeR(Opcode op, int rd, int rs, int rt)
+{
+    return opBits(op) | (regField(rs) << 21) | (regField(rt) << 16) |
+        (regField(rd) << 11);
+}
+
+uint32_t
+encodeI(Opcode op, int rt, int rs, uint16_t imm)
+{
+    return opBits(op) | (regField(rs) << 21) | (regField(rt) << 16) |
+        imm;
+}
+
+uint32_t
+encodeJ(Opcode op, uint32_t target_addr)
+{
+    if (target_addr & 3u)
+        panic("encodeJ: misaligned target 0x%x", target_addr);
+    return opBits(op) | ((target_addr >> 2) & 0x03ffffffu);
+}
+
+uint32_t
+encodeNone(Opcode op)
+{
+    return opBits(op);
+}
+
+} // namespace cesp::isa

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The PJ-RISC instruction set.
+ *
+ * A small MIPS-flavored 32-bit RISC ISA built for this reproduction:
+ * the paper's simulator executed MIPS SPEC'95 binaries (the Figure 12
+ * example is MIPS assembly), so the workload kernels are written in a
+ * comparable load/store ISA. 32 integer registers (r0 wired to zero),
+ * 32 floating-point registers, 32-bit address space, word-aligned
+ * fixed 32-bit instructions.
+ *
+ * Encoding (big fields first):
+ *   [31:26] opcode
+ *   R-type: [25:21] rs, [20:16] rt, [15:11] rd
+ *   I-type: [25:21] rs, [20:16] rt, [15:0] imm16 (sign- or zero-ext)
+ *   J-type: [25:0] word target within the current 256 MB segment
+ */
+
+#ifndef CESP_ISA_ISA_HPP
+#define CESP_ISA_ISA_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace cesp::isa {
+
+/** Number of architectural registers in each class. */
+constexpr int kNumIntRegs = 32;
+constexpr int kNumFpRegs = 32;
+
+/**
+ * Flat architectural register numbering used by traces and rename:
+ * integer registers are 0..31, floating-point registers are 32..63.
+ */
+constexpr int kFpRegBase = 32;
+constexpr int kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+/** Sentinel for "no register operand". */
+constexpr int kNoReg = -1;
+
+/** Primary opcodes (flat 6-bit space). */
+enum class Opcode : uint8_t
+{
+    // R-type integer ALU: rd <- rs OP rt
+    ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU,
+    SLLV, SRLV, SRAV,
+    MUL, MULH, DIV, REM,
+    // I-type integer ALU: rt <- rs OP imm
+    ADDI, ANDI, ORI, XORI, SLTI, SLTIU, LUI,
+    SLLI, SRLI, SRAI,
+    // Loads/stores: rt <- mem[rs + imm] / mem[rs + imm] <- rt
+    LW, LH, LHU, LB, LBU,
+    SW, SH, SB,
+    // Conditional branches: compare rs, rt; target pc+4+imm*4
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Unconditional control
+    J, JAL,       // J-type
+    JR, JALR,     // R-type: jump to rs; JALR: rd <- return address
+    // Floating point (single precision; f-registers)
+    FADD, FSUB, FMUL, FDIV,  // R-type on f-regs
+    FLW, FSW,                // I-type: f-reg <- mem[rs+imm]
+    FMVI,                    // f[rt] <- bits of r[rs]
+    FCMPLT,                  // r[rd] <- f[rs] < f[rt]
+    // System
+    NOP, HALT,
+    PUTC,   // write low byte of r[rs] to the console
+    NUM_OPCODES,
+};
+
+/** Encoding format of an opcode. */
+enum class Format : uint8_t { R, I, J, None };
+
+/**
+ * Operation class used by the timing simulator to choose functional
+ * units, latencies, and control behaviour.
+ */
+enum class OpClass : uint8_t
+{
+    IntAlu,      //!< single-cycle integer operation
+    IntMul,      //!< integer multiply
+    IntDiv,      //!< integer divide/remainder
+    FpAlu,       //!< floating-point add/sub/compare/move
+    FpMul,       //!< floating-point multiply
+    FpDiv,       //!< floating-point divide
+    Load,        //!< memory read
+    Store,       //!< memory write
+    BranchCond,  //!< conditional branch (predicted by the bpred)
+    BranchUncond,//!< direct jump / call (predicted perfectly)
+    BranchInd,   //!< indirect jump / return (predicted perfectly)
+    Syscall,     //!< PUTC etc.
+    Halt,        //!< simulation end marker
+    Nop,
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    Opcode op;
+    const char *mnemonic;
+    Format format;
+    OpClass cls;
+    bool imm_signed;   //!< I-type: sign-extend (vs zero-extend) imm
+    bool writes_dst;   //!< produces a register result
+};
+
+/** Look up the static descriptor for an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Look up an opcode by mnemonic; returns false if unknown. */
+bool opcodeFromMnemonic(const std::string &mnemonic, Opcode &out);
+
+/** True if the op class is any kind of control transfer. */
+bool isControl(OpClass cls);
+
+/** True if the op class executes on the load/store (cache) ports. */
+bool isMem(OpClass cls);
+
+/** Conventional integer register names (r0 -> "zero", r31 -> "ra"). */
+const char *intRegName(int reg);
+
+/**
+ * Parse a register token: "r5"/"f5", numeric or alias ("sp", "ra",
+ * "t0", ...). Returns flat register number or kNoReg on failure.
+ */
+int parseRegister(const std::string &token);
+
+/** Flat register number -> printable name. */
+std::string regName(int flat_reg);
+
+// --- Encoding helpers ---------------------------------------------------
+
+/** Encode an R-type instruction. */
+uint32_t encodeR(Opcode op, int rd, int rs, int rt);
+
+/** Encode an I-type instruction (imm is the low 16 bits). */
+uint32_t encodeI(Opcode op, int rt, int rs, uint16_t imm);
+
+/** Encode a J-type instruction with a byte target address. */
+uint32_t encodeJ(Opcode op, uint32_t target_addr);
+
+/** Encode opcode-only instructions (NOP, HALT). */
+uint32_t encodeNone(Opcode op);
+
+} // namespace cesp::isa
+
+#endif // CESP_ISA_ISA_HPP

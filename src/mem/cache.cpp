@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the cache timing model.
+ */
+
+#include "mem/cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace cesp::mem {
+
+namespace {
+
+uint32_t
+log2Exact(uint32_t v, const char *what)
+{
+    if (!v || (v & (v - 1)))
+        fatal("cache: %s (%u) must be a power of two", what, v);
+    uint32_t l = 0;
+    while ((1u << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+Cache::Cache(const uarch::CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.associativity < 1)
+        fatal("cache: associativity %d < 1", cfg.associativity);
+    set_shift_ = log2Exact(cfg.line_bytes, "line size");
+    uint32_t lines_total = cfg.size_bytes / cfg.line_bytes;
+    if (lines_total % static_cast<uint32_t>(cfg.associativity))
+        fatal("cache: size/line/assoc mismatch");
+    num_sets_ = lines_total / static_cast<uint32_t>(cfg.associativity);
+    log2Exact(num_sets_, "set count");
+    lines_.assign(static_cast<size_t>(num_sets_) *
+                      static_cast<size_t>(cfg.associativity),
+                  Line{});
+}
+
+uint32_t
+Cache::setIndex(uint32_t addr) const
+{
+    return (addr >> set_shift_) & (num_sets_ - 1);
+}
+
+uint32_t
+Cache::tagOf(uint32_t addr) const
+{
+    return addr >> set_shift_;
+}
+
+bool
+Cache::probe(uint32_t addr) const
+{
+    uint32_t set = setIndex(addr);
+    uint32_t tag = tagOf(addr);
+    const Line *base =
+        &lines_[static_cast<size_t>(set) *
+                static_cast<size_t>(cfg_.associativity)];
+    for (int w = 0; w < cfg_.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+Cache::Access
+Cache::access(uint32_t addr, bool is_store)
+{
+    ++accesses_;
+    ++stamp_;
+    uint32_t set = setIndex(addr);
+    uint32_t tag = tagOf(addr);
+    Line *base = &lines_[static_cast<size_t>(set) *
+                         static_cast<size_t>(cfg_.associativity)];
+
+    for (int w = 0; w < cfg_.associativity; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lru = stamp_;
+            if (is_store)
+                l.dirty = true;
+            return {true, false, cfg_.hit_latency};
+        }
+    }
+
+    // Miss: allocate (write-allocate) into the LRU way.
+    ++misses_;
+    Line *victim = &base[0];
+    for (int w = 1; w < cfg_.associativity; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru && victim->valid)
+            victim = &base[w];
+    }
+    bool wb = victim->valid && victim->dirty;
+    if (wb)
+        ++writebacks_;
+    victim->valid = true;
+    victim->dirty = is_store;
+    victim->tag = tag;
+    victim->lru = stamp_;
+    return {false, wb, cfg_.miss_latency};
+}
+
+void
+Cache::flush()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    stamp_ = 0;
+}
+
+} // namespace cesp::mem

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Set-associative data cache timing model. Table 3 configuration:
+ * 32 KB, 2-way set associative, 32-byte lines, write-back with
+ * write-allocate, 1-cycle hit, 6-cycle miss. The model tracks tags,
+ * LRU state and dirty bits only (data values come from the functional
+ * trace), and reports per-access latency plus hit/miss/writeback
+ * statistics.
+ */
+
+#ifndef CESP_MEM_CACHE_HPP
+#define CESP_MEM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.hpp"
+
+namespace cesp::mem {
+
+/** Timing-only set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const uarch::CacheConfig &cfg);
+
+    /** Result of one access. */
+    struct Access
+    {
+        bool hit;
+        bool writeback; //!< a dirty victim was evicted
+        int latency;    //!< cycles to data (hit or miss latency)
+    };
+
+    /**
+     * Perform a load (@p is_store false) or store (@p is_store true)
+     * access, updating tags/LRU/dirty state.
+     */
+    Access access(uint32_t addr, bool is_store);
+
+    /** Probe without updating any state. */
+    bool probe(uint32_t addr) const;
+
+    /** Invalidate all lines and reset LRU (not the statistics). */
+    void flush();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+            static_cast<double>(accesses_) : 0.0;
+    }
+
+    uint32_t numSets() const { return num_sets_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+        uint64_t lru = 0; //!< last-use stamp
+    };
+
+    uint32_t setIndex(uint32_t addr) const;
+    uint32_t tagOf(uint32_t addr) const;
+
+    uarch::CacheConfig cfg_;
+    uint32_t num_sets_;
+    uint32_t set_shift_;  //!< log2(line_bytes)
+    std::vector<Line> lines_; //!< num_sets x assoc
+    uint64_t stamp_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace cesp::mem
+
+#endif // CESP_MEM_CACHE_HPP

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Implementation of the synthetic trace generator.
+ */
+
+#include "trace/synthetic.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+
+namespace cesp::trace {
+
+namespace {
+
+/** Per-branch-site outcome pattern state. */
+std::unordered_map<uint32_t, uint32_t> &
+siteCounters()
+{
+    thread_local std::unordered_map<uint32_t, uint32_t> counters;
+    return counters;
+}
+
+} // namespace
+
+SyntheticTrace::SyntheticTrace(const SyntheticParams &params,
+                               uint64_t length)
+    : params_(params), length_(length), rng_(params.seed)
+{
+    if (params.load_frac + params.store_frac + params.branch_frac >=
+        1.0)
+        fatal("synthetic trace: instruction-mix fractions sum to >= 1");
+    if (params.mean_dep_distance < 1.0)
+        fatal("synthetic trace: mean dependence distance must be >= 1");
+    regenerate();
+}
+
+void
+SyntheticTrace::regenerate()
+{
+    produced_ = 0;
+    rng_ = Rng(params_.seed);
+    pc_ = 0x00010000;
+    ring_pos_ = 0;
+    next_reg_ = 1;
+    branch_seq_ = 0;
+    for (int i = 0; i < kRing; ++i)
+        recent_dst_[i] = 1;
+    siteCounters().clear();
+}
+
+void
+SyntheticTrace::rewind()
+{
+    regenerate();
+}
+
+bool
+SyntheticTrace::next(TraceOp &out)
+{
+    if (produced_ >= length_)
+        return false;
+    out = make();
+    ++produced_;
+    return true;
+}
+
+TraceOp
+SyntheticTrace::make()
+{
+    TraceOp t;
+    t.pc = pc_;
+    uint32_t next = pc_ + 4;
+
+    // Pick a source register at the configured dependence distance.
+    auto dep_src = [&]() -> int8_t {
+        double u = rng_.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        int k = 1 + static_cast<int>(
+            -(params_.mean_dep_distance - 1.0) * std::log(u));
+        if (k > kRing)
+            k = kRing;
+        int idx = (ring_pos_ - k % kRing + kRing) % kRing;
+        return static_cast<int8_t>(recent_dst_[idx]);
+    };
+    auto alloc_dst = [&]() -> int8_t {
+        int r = next_reg_;
+        next_reg_ = next_reg_ == 30 ? 1 : next_reg_ + 1;
+        recent_dst_[ring_pos_] = r;
+        ring_pos_ = (ring_pos_ + 1) % kRing;
+        return static_cast<int8_t>(r);
+    };
+    auto mem_addr = [&]() -> uint32_t {
+        uint32_t ws = params_.working_set & ~3u;
+        if (ws < 64)
+            ws = 64;
+        return 0x10000000u + (static_cast<uint32_t>(
+            rng_.below(ws / 4)) * 4u);
+    };
+
+    double u = rng_.uniform();
+    if (u < params_.load_frac) {
+        t.op = isa::Opcode::LW;
+        t.cls = isa::OpClass::Load;
+        t.src1 = dep_src();
+        t.dst = alloc_dst();
+        t.mem_addr = mem_addr();
+        t.mem_size = 4;
+    } else if (u < params_.load_frac + params_.store_frac) {
+        t.op = isa::Opcode::SW;
+        t.cls = isa::OpClass::Store;
+        t.src1 = dep_src();
+        t.src2 = dep_src();
+        t.mem_addr = mem_addr();
+        t.mem_size = 4;
+    } else if (u < params_.load_frac + params_.store_frac +
+               params_.branch_frac) {
+        t.op = isa::Opcode::BNE;
+        t.cls = isa::OpClass::BranchCond;
+        t.src1 = dep_src();
+        if (rng_.chance(params_.two_src_frac))
+            t.src2 = dep_src();
+        ++branch_seq_;
+        // Patterned sites repeat a short taken/not-taken sequence a
+        // history predictor can learn; noisy sites flip randomly.
+        uint32_t &count = siteCounters()[t.pc];
+        bool noisy =
+            (t.pc * 2654435761u >> 16) % 1000 <
+            static_cast<uint32_t>(params_.noisy_branch_frac * 1000);
+        if (noisy) {
+            t.taken = rng_.chance(params_.taken_frac);
+        } else {
+            uint32_t period = 2 + ((t.pc >> 4) % 6);
+            t.taken = (count % period) != 0;
+        }
+        ++count;
+        if (t.taken) {
+            // Loop-like control: mostly short backward jumps, with
+            // occasional forward skips.
+            uint32_t blk = static_cast<uint32_t>(
+                1 + rng_.below(static_cast<uint64_t>(
+                    params_.mean_block * 2.0)));
+            if (rng_.chance(0.8)) {
+                uint32_t back = blk * 16;
+                next = t.pc >= 0x00010000u + back ? t.pc - back
+                                                  : 0x00010000u;
+            } else {
+                next = t.pc + 4 + blk * 16;
+            }
+        }
+    } else {
+        t.op = isa::Opcode::ADD;
+        t.cls = isa::OpClass::IntAlu;
+        t.src1 = dep_src();
+        if (rng_.chance(params_.two_src_frac))
+            t.src2 = dep_src();
+        t.dst = alloc_dst();
+    }
+
+    t.next_pc = next;
+    pc_ = next;
+    return t;
+}
+
+TraceBuffer
+generateSynthetic(const SyntheticParams &params, uint64_t length)
+{
+    TraceBuffer buf;
+    SyntheticTrace src(params, length);
+    TraceOp op;
+    while (src.next(op))
+        buf.append(op);
+    return buf;
+}
+
+} // namespace cesp::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace utilities.
+ */
+
+#include "trace/trace.hpp"
+
+namespace cesp::trace {
+
+TraceMix
+computeMix(const TraceBuffer &buf)
+{
+    TraceMix m;
+    m.total = buf.size();
+    for (const TraceOp &op : buf.ops()) {
+        switch (op.cls) {
+          case isa::OpClass::Load:
+            ++m.loads;
+            break;
+          case isa::OpClass::Store:
+            ++m.stores;
+            break;
+          case isa::OpClass::BranchCond:
+            ++m.cond_branches;
+            break;
+          case isa::OpClass::BranchUncond:
+          case isa::OpClass::BranchInd:
+            ++m.uncond;
+            break;
+          case isa::OpClass::IntAlu:
+            ++m.int_alu;
+            break;
+          default:
+            ++m.other;
+            break;
+        }
+    }
+    return m;
+}
+
+} // namespace cesp::trace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dynamic instruction trace: the interface between the functional
+ * emulator (or the synthetic generator) and the timing simulator.
+ * The paper's methodology is trace-driven cycle simulation (a modified
+ * SimpleScalar); TraceOp carries exactly what that style of simulator
+ * needs per dynamic instruction: operand registers, memory address,
+ * and the actual control-flow outcome.
+ */
+
+#ifndef CESP_TRACE_TRACE_HPP
+#define CESP_TRACE_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace cesp::trace {
+
+/** One dynamic instruction. */
+struct TraceOp
+{
+    uint32_t pc = 0;
+    uint32_t next_pc = 0;   //!< actual successor (branch outcome)
+    uint32_t mem_addr = 0;  //!< effective address for loads/stores
+    isa::Opcode op = isa::Opcode::NOP;
+    isa::OpClass cls = isa::OpClass::Nop;
+    int8_t dst = -1;        //!< flat arch register, -1/0 = none
+    int8_t src1 = -1;
+    int8_t src2 = -1;
+    uint8_t mem_size = 0;   //!< access size in bytes (loads/stores)
+    bool taken = false;     //!< branch outcome (true for taken)
+
+    bool
+    hasDst() const
+    {
+        return dst > 0; // integer r0 never creates a dependence
+    }
+
+    bool isLoad() const { return cls == isa::OpClass::Load; }
+    bool isStore() const { return cls == isa::OpClass::Store; }
+
+    bool
+    isCondBranch() const
+    {
+        return cls == isa::OpClass::BranchCond;
+    }
+};
+
+/** Consumer interface for dynamic instructions. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void append(const TraceOp &op) = 0;
+};
+
+/** Producer interface for the timing simulator. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Fetch the next dynamic instruction; false at end of trace. */
+    virtual bool next(TraceOp &out) = 0;
+
+    /** Restart from the beginning (used to replay across configs). */
+    virtual void rewind() = 0;
+};
+
+/** In-memory trace: both a sink and a replayable source. */
+class TraceBuffer : public TraceSink, public TraceSource
+{
+  public:
+    void
+    append(const TraceOp &op) override
+    {
+        ops_.push_back(op);
+    }
+
+    bool
+    next(TraceOp &out) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        out = ops_[pos_++];
+        return true;
+    }
+
+    void rewind() override { pos_ = 0; }
+
+    size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    const TraceOp &operator[](size_t i) const { return ops_[i]; }
+    const std::vector<TraceOp> &ops() const { return ops_; }
+
+  private:
+    std::vector<TraceOp> ops_;
+    size_t pos_ = 0;
+};
+
+/** Summary statistics of a trace (used by tests and reports). */
+struct TraceMix
+{
+    uint64_t total = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t cond_branches = 0;
+    uint64_t uncond = 0;
+    uint64_t int_alu = 0;
+    uint64_t other = 0;
+
+    double
+    frac(uint64_t n) const
+    {
+        return total ? static_cast<double>(n) /
+            static_cast<double>(total) : 0.0;
+    }
+};
+
+/** Classify every op in a buffer. */
+TraceMix computeMix(const TraceBuffer &buf);
+
+} // namespace cesp::trace
+
+#endif // CESP_TRACE_TRACE_HPP

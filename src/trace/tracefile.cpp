@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Implementation of the binary trace file format.
+ */
+
+#include "trace/tracefile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace cesp::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'S', 'P', 'T', 'R', 'C', '1'};
+constexpr size_t kRecordBytes = 20;
+
+void
+put32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+        (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16) |
+        (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void
+pack(const TraceOp &op, uint8_t *p)
+{
+    put32(p, op.pc);
+    put32(p + 4, op.next_pc);
+    put32(p + 8, op.mem_addr);
+    p[12] = static_cast<uint8_t>(op.op);
+    p[13] = static_cast<uint8_t>(op.cls);
+    p[14] = static_cast<uint8_t>(op.dst);
+    p[15] = static_cast<uint8_t>(op.src1);
+    p[16] = static_cast<uint8_t>(op.src2);
+    p[17] = op.mem_size;
+    p[18] = op.taken ? 1 : 0;
+    p[19] = 0;
+}
+
+bool
+unpack(const uint8_t *p, TraceOp &op)
+{
+    op.pc = get32(p);
+    op.next_pc = get32(p + 4);
+    op.mem_addr = get32(p + 8);
+    if (p[12] >= static_cast<uint8_t>(isa::Opcode::NUM_OPCODES))
+        return false;
+    op.op = static_cast<isa::Opcode>(p[12]);
+    op.cls = static_cast<isa::OpClass>(p[13]);
+    op.dst = static_cast<int8_t>(p[14]);
+    op.src1 = static_cast<int8_t>(p[15]);
+    op.src2 = static_cast<int8_t>(p[16]);
+    op.mem_size = p[17];
+    op.taken = p[18] != 0;
+    return true;
+}
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+} // namespace
+
+bool
+saveTrace(const TraceBuffer &buf, const std::string &path)
+{
+    std::unique_ptr<std::FILE, FileCloser> f(
+        std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    uint8_t header[16] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    put32(header + 8, static_cast<uint32_t>(buf.size()));
+    put32(header + 12, static_cast<uint32_t>(buf.size() >> 32));
+    if (std::fwrite(header, 1, sizeof(header), f.get()) !=
+        sizeof(header))
+        return false;
+
+    std::vector<uint8_t> block(kRecordBytes * 4096);
+    size_t i = 0;
+    while (i < buf.size()) {
+        size_t chunk = std::min<size_t>(4096, buf.size() - i);
+        for (size_t j = 0; j < chunk; ++j)
+            pack(buf[i + j], block.data() + j * kRecordBytes);
+        if (std::fwrite(block.data(), kRecordBytes, chunk, f.get()) !=
+            chunk)
+            return false;
+        i += chunk;
+    }
+    return true;
+}
+
+bool
+loadTrace(const std::string &path, TraceBuffer &out)
+{
+    std::unique_ptr<std::FILE, FileCloser> f(
+        std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+
+    uint8_t header[16];
+    if (std::fread(header, 1, sizeof(header), f.get()) !=
+        sizeof(header))
+        return false;
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    uint64_t count = get32(header + 8) |
+        (static_cast<uint64_t>(get32(header + 12)) << 32);
+
+    TraceBuffer result;
+    std::vector<uint8_t> block(kRecordBytes * 4096);
+    uint64_t remaining = count;
+    while (remaining > 0) {
+        size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(4096, remaining));
+        if (std::fread(block.data(), kRecordBytes, chunk, f.get()) !=
+            chunk)
+            return false;
+        for (size_t j = 0; j < chunk; ++j) {
+            TraceOp op;
+            if (!unpack(block.data() + j * kRecordBytes, op))
+                return false;
+            result.append(op);
+        }
+        remaining -= chunk;
+    }
+    out = std::move(result);
+    out.rewind();
+    return true;
+}
+
+} // namespace cesp::trace

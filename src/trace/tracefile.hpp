@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary trace file I/O. Traces regenerate deterministically from the
+ * workload kernels, but emulating a million instructions per
+ * (process, workload) pair adds up across the test and bench
+ * binaries; a versioned on-disk format lets harnesses share captured
+ * traces (see core::cachedWorkloadTrace's disk cache).
+ *
+ * Format: 16-byte header (magic "CESPTRC1", record count), then one
+ * packed 20-byte little-endian record per dynamic instruction.
+ */
+
+#ifndef CESP_TRACE_TRACEFILE_HPP
+#define CESP_TRACE_TRACEFILE_HPP
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cesp::trace {
+
+/** Write a trace to @p path; false on I/O error. */
+bool saveTrace(const TraceBuffer &buf, const std::string &path);
+
+/**
+ * Read a trace from @p path into @p out (replacing its contents);
+ * false if the file is missing, truncated, or version-mismatched.
+ */
+bool loadTrace(const std::string &path, TraceBuffer &out);
+
+} // namespace cesp::trace
+
+#endif // CESP_TRACE_TRACEFILE_HPP

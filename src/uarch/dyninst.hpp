@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-dynamic-instruction state carried through the timing pipeline.
+ */
+
+#ifndef CESP_UARCH_DYNINST_HPP
+#define CESP_UARCH_DYNINST_HPP
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace cesp::uarch {
+
+/** Sentinel cycle meaning "not yet scheduled". */
+constexpr uint64_t kNeverCycle = UINT64_MAX / 2;
+
+/** Sentinel sequence number. */
+constexpr uint64_t kNoSeq = UINT64_MAX;
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    trace::TraceOp op;
+    uint64_t seq = kNoSeq;     //!< program order, from 0
+
+    // Renamed operands (physical register ids; -1 = none).
+    int dst_preg = -1;
+    int src1_preg = -1;
+    int src2_preg = -1;
+    int old_preg = -1;         //!< previous mapping, freed at commit
+
+    int cluster = -1;          //!< execution cluster (-1 = unassigned)
+    int fifo = -1;             //!< FIFO id (real or conceptual)
+
+    uint64_t frontend_exit = 0;  //!< earliest rename cycle
+    uint64_t dispatch_cycle = kNeverCycle;
+    uint64_t issue_cycle = kNeverCycle;
+    uint64_t complete_cycle = kNeverCycle;
+
+    bool in_buffer = false;    //!< waiting in window/FIFO
+    bool issued = false;
+    bool mispredicted = false; //!< conditional branch, wrong direction
+
+    bool
+    readyToCommit(uint64_t now) const
+    {
+        return issued && complete_cycle <= now;
+    }
+};
+
+} // namespace cesp::uarch
+
+#endif // CESP_UARCH_DYNINST_HPP

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the FIFO set.
+ */
+
+#include "uarch/fifos.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cesp::uarch {
+
+FifoSet::FifoSet(int num_clusters, int per_cluster, int depth)
+    : num_clusters_(num_clusters), per_cluster_(per_cluster),
+      depth_(depth)
+{
+    if (num_clusters < 1 || per_cluster < 1 || depth < 1)
+        panic("FifoSet: bad shape %dx%dx%d", num_clusters, per_cluster,
+              depth);
+    fifos_.assign(
+        static_cast<size_t>(num_clusters) *
+            static_cast<size_t>(per_cluster),
+        Fifo{});
+    free_.assign(static_cast<size_t>(num_clusters), {});
+    clear();
+}
+
+void
+FifoSet::clear()
+{
+    for (auto &f : fifos_) {
+        f.entries.clear();
+        f.allocated = false;
+    }
+    for (int c = 0; c < num_clusters_; ++c) {
+        free_[static_cast<size_t>(c)].clear();
+        for (int i = 0; i < per_cluster_; ++i)
+            free_[static_cast<size_t>(c)].push_back(
+                c * per_cluster_ + i);
+    }
+    current_cluster_ = 0;
+}
+
+const FifoSet::Fifo &
+FifoSet::at(int fifo) const
+{
+    if (fifo < 0 || fifo >= numFifos())
+        panic("FifoSet: bad fifo id %d", fifo);
+    return fifos_[static_cast<size_t>(fifo)];
+}
+
+FifoSet::Fifo &
+FifoSet::at(int fifo)
+{
+    return const_cast<Fifo &>(
+        static_cast<const FifoSet *>(this)->at(fifo));
+}
+
+int
+FifoSet::clusterOf(int fifo) const
+{
+    at(fifo); // bounds check
+    return fifo / per_cluster_;
+}
+
+uint64_t
+FifoSet::head(int fifo) const
+{
+    const Fifo &f = at(fifo);
+    if (f.entries.empty())
+        panic("FifoSet: head of empty fifo %d", fifo);
+    return f.entries.front();
+}
+
+bool
+FifoSet::isTail(int fifo, uint64_t seq) const
+{
+    const Fifo &f = at(fifo);
+    return !f.entries.empty() && f.entries.back() == seq;
+}
+
+void
+FifoSet::push(int fifo, uint64_t seq)
+{
+    Fifo &f = at(fifo);
+    if (!f.allocated)
+        panic("FifoSet: push to unallocated fifo %d", fifo);
+    if (static_cast<int>(f.entries.size()) >= depth_)
+        panic("FifoSet: push to full fifo %d", fifo);
+    if (!f.entries.empty() && f.entries.back() >= seq)
+        panic("FifoSet: out-of-order push (fifo %d)", fifo);
+    f.entries.push_back(seq);
+}
+
+void
+FifoSet::recycle(int fifo)
+{
+    Fifo &f = at(fifo);
+    f.allocated = false;
+    free_[static_cast<size_t>(clusterOf(fifo))].push_back(fifo);
+}
+
+void
+FifoSet::popHead(int fifo)
+{
+    Fifo &f = at(fifo);
+    if (f.entries.empty())
+        panic("FifoSet: pop of empty fifo %d", fifo);
+    f.entries.pop_front();
+    if (f.entries.empty())
+        recycle(fifo);
+}
+
+void
+FifoSet::remove(int fifo, uint64_t seq)
+{
+    Fifo &f = at(fifo);
+    auto it = std::find(f.entries.begin(), f.entries.end(), seq);
+    if (it == f.entries.end())
+        panic("FifoSet: remove of absent seq from fifo %d", fifo);
+    f.entries.erase(it);
+    if (f.entries.empty())
+        recycle(fifo);
+}
+
+int
+FifoSet::allocate(const std::function<bool(int)> &cluster_ok)
+{
+    // Two-free-list policy: stay on the current cluster while it has
+    // free FIFOs, then move on (Section 5.5).
+    for (int step = 0; step < num_clusters_; ++step) {
+        int c = (current_cluster_ + step) % num_clusters_;
+        auto &pool = free_[static_cast<size_t>(c)];
+        if (pool.empty() || !cluster_ok(c))
+            continue;
+        current_cluster_ = c;
+        int id = pool.front();
+        pool.pop_front();
+        Fifo &f = at(id);
+        f.allocated = true;
+        f.entries.clear();
+        return id;
+    }
+    return -1;
+}
+
+std::vector<uint64_t>
+FifoSet::headSeqs() const
+{
+    std::vector<uint64_t> heads;
+    for (const auto &f : fifos_)
+        if (!f.entries.empty())
+            heads.push_back(f.entries.front());
+    return heads;
+}
+
+int
+FifoSet::freeCount(int cluster) const
+{
+    if (cluster < 0 || cluster >= num_clusters_)
+        panic("FifoSet: bad cluster %d", cluster);
+    return static_cast<int>(free_[static_cast<size_t>(cluster)].size());
+}
+
+} // namespace cesp::uarch

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The FIFO set of the dependence-based microarchitecture (Section 5).
+ *
+ * A fixed pool of in-order FIFOs is divided among the clusters. Free
+ * FIFOs live in per-cluster free pools; allocation follows the paper's
+ * two-free-list policy (Section 5.5): requests are satisfied from the
+ * *current* cluster's pool, and only when it is empty does the other
+ * pool become current — keeping dynamically-adjacent instructions in
+ * the same cluster. A FIFO returns to its cluster's pool when its last
+ * instruction leaves (Section 5.1).
+ *
+ * The same structure doubles as the *conceptual* FIFOs of the
+ * two-window dispatch-steering organization (Section 5.6.2), where
+ * instructions may leave from any position (flexible issue), so
+ * removal from the middle is supported alongside head pops.
+ */
+
+#ifndef CESP_UARCH_FIFOS_HPP
+#define CESP_UARCH_FIFOS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "uarch/dyninst.hpp"
+
+namespace cesp::uarch {
+
+/** A pool of per-cluster instruction FIFOs with free-list management. */
+class FifoSet
+{
+  public:
+    /**
+     * @param num_clusters clusters sharing the pool
+     * @param per_cluster FIFOs belonging to each cluster
+     * @param depth maximum entries per FIFO
+     */
+    FifoSet(int num_clusters, int per_cluster, int depth);
+
+    int numFifos() const { return static_cast<int>(fifos_.size()); }
+    int depth() const { return depth_; }
+    int clusterOf(int fifo) const;
+
+    bool empty(int fifo) const { return at(fifo).entries.empty(); }
+
+    bool
+    full(int fifo) const
+    {
+        return static_cast<int>(at(fifo).entries.size()) >= depth_;
+    }
+
+    /** True if the FIFO is currently allocated (holds instructions). */
+    bool allocated(int fifo) const { return at(fifo).allocated; }
+
+    /** Oldest instruction in the FIFO (must be non-empty). */
+    uint64_t head(int fifo) const;
+
+    /** True if @p seq is present and is the newest entry. */
+    bool isTail(int fifo, uint64_t seq) const;
+
+    /** Append an instruction (FIFO must be allocated and not full). */
+    void push(int fifo, uint64_t seq);
+
+    /**
+     * Remove the head (in-order issue). If the FIFO becomes empty it
+     * is recycled to its cluster's free pool.
+     */
+    void popHead(int fifo);
+
+    /**
+     * Remove @p seq from any position (conceptual-FIFO mode).
+     * Recycles the FIFO when it empties.
+     */
+    void remove(int fifo, uint64_t seq);
+
+    /**
+     * Allocate a free FIFO using the two-free-list policy. Clusters
+     * for which @p cluster_ok returns false are skipped (used to
+     * avoid clusters whose issue window is full). Returns the FIFO id
+     * or -1 if none is available.
+     */
+    int allocate(const std::function<bool(int)> &cluster_ok);
+
+    /** Allocate with no cluster restriction. */
+    int
+    allocate()
+    {
+        return allocate([](int) { return true; });
+    }
+
+    /** Ids of the current head instructions across allocated FIFOs. */
+    std::vector<uint64_t> headSeqs() const;
+
+    /** Entries of one FIFO, oldest first (for tests / visualizers). */
+    const std::deque<uint64_t> &
+    contents(int fifo) const
+    {
+        return at(fifo).entries;
+    }
+
+    int freeCount(int cluster) const;
+
+    /** Reset to the all-free state. */
+    void clear();
+
+  private:
+    struct Fifo
+    {
+        std::deque<uint64_t> entries;
+        bool allocated = false;
+    };
+
+    const Fifo &at(int fifo) const;
+    Fifo &at(int fifo);
+    void recycle(int fifo);
+
+    int num_clusters_;
+    int per_cluster_;
+    int depth_;
+    int current_cluster_ = 0; //!< two-free-list "current" pointer
+    std::vector<Fifo> fifos_;
+    std::vector<std::deque<int>> free_; //!< per-cluster free pools
+};
+
+} // namespace cesp::uarch
+
+#endif // CESP_UARCH_FIFOS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the store queue.
+ */
+
+#include "uarch/lsq.hpp"
+
+#include "common/logging.hpp"
+
+namespace cesp::uarch {
+
+void
+StoreQueue::dispatch(uint64_t seq, uint32_t addr)
+{
+    if (!stores_.empty() && stores_.back().seq >= seq)
+        panic("StoreQueue: out-of-order dispatch");
+    stores_.push_back({seq, addr, false});
+    unissued_.insert(seq);
+}
+
+void
+StoreQueue::markIssued(uint64_t seq)
+{
+    auto n = unissued_.erase(seq);
+    if (!n)
+        panic("StoreQueue: issue of unknown store");
+    for (Store &s : stores_) {
+        if (s.seq == seq) {
+            s.issued = true;
+            return;
+        }
+    }
+    panic("StoreQueue: issued store not in queue");
+}
+
+void
+StoreQueue::commit(uint64_t seq)
+{
+    if (stores_.empty() || stores_.front().seq != seq)
+        panic("StoreQueue: out-of-order commit");
+    if (!stores_.front().issued)
+        panic("StoreQueue: commit of unissued store");
+    stores_.pop_front();
+}
+
+bool
+StoreQueue::olderStoreUnissued(uint64_t load_seq) const
+{
+    return !unissued_.empty() && *unissued_.begin() < load_seq;
+}
+
+std::optional<uint64_t>
+StoreQueue::forwardFrom(uint64_t load_seq, uint32_t addr) const
+{
+    uint32_t word = addr & ~3u;
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (it->issued && (it->addr & ~3u) == word)
+            return it->seq;
+    }
+    return std::nullopt;
+}
+
+void
+StoreQueue::clear()
+{
+    stores_.clear();
+    unissued_.clear();
+}
+
+} // namespace cesp::uarch

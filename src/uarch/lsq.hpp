@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Store queue supporting the paper's load issue rule (Table 3: "loads
+ * may execute when all prior store addresses are known") and
+ * store-to-load forwarding. Stores enter at dispatch; their address
+ * becomes known to the hardware when they issue; they leave at commit.
+ */
+
+#ifndef CESP_UARCH_LSQ_HPP
+#define CESP_UARCH_LSQ_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+
+namespace cesp::uarch {
+
+/** In-flight store tracking. */
+class StoreQueue
+{
+  public:
+    /** A store enters the queue at dispatch (program order). */
+    void dispatch(uint64_t seq, uint32_t addr);
+
+    /** The store's address becomes known when it issues. */
+    void markIssued(uint64_t seq);
+
+    /** The store leaves the queue at commit. */
+    void commit(uint64_t seq);
+
+    /**
+     * True if any store older than @p load_seq has not yet issued,
+     * i.e. the load may not execute yet.
+     */
+    bool olderStoreUnissued(uint64_t load_seq) const;
+
+    /**
+     * Youngest issued store older than @p load_seq writing the same
+     * word; nullopt if none (the load goes to the cache).
+     */
+    std::optional<uint64_t> forwardFrom(uint64_t load_seq,
+                                        uint32_t addr) const;
+
+    size_t size() const { return stores_.size(); }
+    void clear();
+
+  private:
+    struct Store
+    {
+        uint64_t seq;
+        uint32_t addr;
+        bool issued = false;
+    };
+
+    std::deque<Store> stores_;       //!< program order (by seq)
+    std::set<uint64_t> unissued_;    //!< seqs of unissued stores
+};
+
+} // namespace cesp::uarch
+
+#endif // CESP_UARCH_LSQ_HPP

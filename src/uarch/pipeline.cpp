@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Implementation of the timing pipeline.
+ */
+
+#include "uarch/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cesp::uarch {
+
+Pipeline::Pipeline(const SimConfig &cfg, trace::TraceSource &src)
+    : cfg_(cfg), src_(src), bpred_(bpred::makePredictor(cfg.bpred)),
+      dcache_(cfg.dcache), rename_(cfg),
+      select_rng_(cfg.random_seed ^ 0x5e1ec7ULL)
+{
+    cfg_.validate();
+    stats_.config_name = cfg_.name;
+
+    switch (cfg_.style) {
+      case IssueBufferStyle::CentralWindow:
+        windows_.emplace_back(cfg_.window_size,
+                              cfg_.window_compaction
+                                  ? WindowOrder::AgeCompacted
+                                  : WindowOrder::SlotPriority);
+        break;
+      case IssueBufferStyle::PerClusterWindow:
+        for (int c = 0; c < cfg_.num_clusters; ++c)
+            windows_.emplace_back(cfg_.window_size);
+        break;
+      case IssueBufferStyle::Fifos:
+        fifos_ = std::make_unique<FifoSet>(cfg_.num_clusters,
+                                           cfg_.fifos_per_cluster,
+                                           cfg_.fifo_depth);
+        break;
+    }
+    if (cfg_.steering == SteeringPolicy::WindowFifo)
+        fifos_ = std::make_unique<FifoSet>(
+            cfg_.num_clusters, cfg_.concept_fifos_per_cluster,
+            cfg_.concept_fifo_depth);
+
+    steering_ = std::make_unique<Steering>(
+        cfg_, fifos_.get(), windows_.empty() ? nullptr : &windows_);
+
+    if (cfg_.l2.enabled) {
+        CacheConfig l2c;
+        l2c.size_bytes = cfg_.l2.size_bytes;
+        l2c.associativity = cfg_.l2.associativity;
+        l2c.line_bytes = cfg_.l2.line_bytes;
+        l2c.hit_latency = cfg_.dcache.miss_latency;
+        l2c.miss_latency = cfg_.l2.memory_latency;
+        l2_ = std::make_unique<mem::Cache>(l2c);
+    }
+
+    rob_.assign(static_cast<size_t>(cfg_.max_inflight), DynInst{});
+}
+
+DynInst &
+Pipeline::rob(uint64_t seq)
+{
+    if (seq < rob_head_ || seq >= rob_tail_)
+        panic("rob: seq %llu outside [%llu, %llu)",
+              (unsigned long long)seq, (unsigned long long)rob_head_,
+              (unsigned long long)rob_tail_);
+    return rob_[seq % rob_.size()];
+}
+
+const DynInst &
+Pipeline::rob(uint64_t seq) const
+{
+    return const_cast<Pipeline *>(this)->rob(seq);
+}
+
+bool
+Pipeline::robFull() const
+{
+    return robSize() >= rob_.size();
+}
+
+uint64_t
+Pipeline::srcReadyCycle(const DynInst &inst, int cluster) const
+{
+    uint64_t r = 0;
+    if (inst.src1_preg >= 0)
+        r = std::max(r, rename_.preg(inst.src1_preg)
+                            .ready_cycle[cluster]);
+    if (inst.src2_preg >= 0)
+        r = std::max(r, rename_.preg(inst.src2_preg)
+                            .ready_cycle[cluster]);
+    return r;
+}
+
+bool
+Pipeline::srcsReady(const DynInst &inst, int cluster) const
+{
+    return srcReadyCycle(inst, cluster) <= now_;
+}
+
+int
+Pipeline::fuClassOf(isa::OpClass cls)
+{
+    if (isa::isMem(cls))
+        return 1;
+    if (isa::isControl(cls))
+        return 2;
+    return 0;
+}
+
+bool
+Pipeline::fuAvailable(int cluster, isa::OpClass cls,
+                      const FuUsage &usage) const
+{
+    if (cfg_.fu_mix.symmetric())
+        return usage.total[cluster] < cfg_.fus_per_cluster;
+    int t = fuClassOf(cls);
+    int limit = t == 0 ? cfg_.fu_mix.alu
+        : t == 1      ? cfg_.fu_mix.mem
+                      : cfg_.fu_mix.branch;
+    return usage.typed[cluster][t] < limit;
+}
+
+void
+Pipeline::consumeFu(int cluster, isa::OpClass cls, FuUsage &usage)
+{
+    ++usage.total[cluster];
+    ++usage.typed[cluster][fuClassOf(cls)];
+}
+
+int
+Pipeline::bypassHops(int from, int to) const
+{
+    if (from == to)
+        return 0;
+    if (cfg_.interconnect == ClusterInterconnect::Broadcast)
+        return 1;
+    // Ring: values forwarded hop by hop (PEWs-style, Section 5.6.2).
+    int n = cfg_.num_clusters;
+    int d = from > to ? from - to : to - from;
+    return std::min(d, n - d);
+}
+
+int
+Pipeline::chooseExecCluster(const DynInst &inst, isa::OpClass cls,
+                            const FuUsage &usage) const
+{
+    // Section 5.6.1: assign to the cluster that provides the source
+    // values first (given a free functional unit); both-ready ties go
+    // to cluster 0.
+    int best = -1;
+    uint64_t best_ready = kNeverCycle;
+    for (int c = 0; c < cfg_.num_clusters; ++c) {
+        if (!fuAvailable(c, cls, usage))
+            continue;
+        uint64_t r = srcReadyCycle(inst, c);
+        if (r > now_)
+            continue;
+        if (r < best_ready) {
+            best_ready = r;
+            best = c;
+        }
+    }
+    return best;
+}
+
+int
+Pipeline::loadLatency(DynInst &inst)
+{
+    if (stq_.forwardFrom(inst.seq, inst.op.mem_addr)) {
+        ++stats_.store_forwards;
+        return cfg_.dcache.hit_latency;
+    }
+    mem::Cache::Access l1 = dcache_.access(inst.op.mem_addr, false);
+    if (l1.hit || !l2_)
+        return l1.latency;
+    // L1 miss with an L2 behind it: the L2 hit costs the Table 3
+    // miss latency; an L2 miss goes all the way to memory.
+    return l2_->access(inst.op.mem_addr, false).latency;
+}
+
+void
+Pipeline::removeFromBuffer(DynInst &inst)
+{
+    switch (cfg_.style) {
+      case IssueBufferStyle::CentralWindow:
+        windows_[0].remove(inst.seq);
+        break;
+      case IssueBufferStyle::PerClusterWindow:
+        windows_[static_cast<size_t>(inst.cluster)].remove(inst.seq);
+        if (cfg_.steering == SteeringPolicy::WindowFifo)
+            fifos_->remove(inst.fifo, inst.seq);
+        break;
+      case IssueBufferStyle::Fifos:
+        if (fifos_->head(inst.fifo) != inst.seq)
+            panic("issue from non-head of fifo %d", inst.fifo);
+        fifos_->popHead(inst.fifo);
+        break;
+    }
+    inst.in_buffer = false;
+}
+
+void
+Pipeline::completeIssue(DynInst &inst, int cluster, int latency)
+{
+    inst.cluster = cluster;
+    inst.issued = true;
+    inst.issue_cycle = now_;
+    inst.complete_cycle = now_ + static_cast<uint64_t>(latency);
+
+    // Inter-cluster bypass accounting (Section 5.6.4): an operand
+    // that was produced in the other cluster and is not yet readable
+    // from this cluster's register file arrived over the slow bypass.
+    if (cfg_.num_clusters > 1) {
+        for (int p : {inst.src1_preg, inst.src2_preg}) {
+            if (p < 0)
+                continue;
+            const PhysReg &pr = rename_.preg(p);
+            if (pr.producing_cluster != cluster &&
+                now_ < pr.rf_visible[cluster]) {
+                ++stats_.intercluster_bypasses;
+                break;
+            }
+        }
+    }
+
+    if (inst.dst_preg >= 0) {
+        PhysReg &pr = rename_.preg(inst.dst_preg);
+        pr.computed_cycle = inst.complete_cycle;
+        pr.producing_cluster = cluster;
+        // A pipelined wakeup+select loop (Figure 10) delays every
+        // dependent issue by its extra stages; incomplete local
+        // bypassing delays even same-cluster consumers.
+        uint64_t select_extra =
+            static_cast<uint64_t>(cfg_.wakeup_select_stages - 1);
+        for (int c = 0; c < cfg_.num_clusters; ++c) {
+            int hops = bypassHops(cluster, c);
+            uint64_t rc = inst.complete_cycle + select_extra +
+                (hops == 0
+                     ? static_cast<uint64_t>(cfg_.local_bypass_extra)
+                     : static_cast<uint64_t>(hops) *
+                           static_cast<uint64_t>(
+                               cfg_.inter_cluster_extra));
+            pr.ready_cycle[c] = rc;
+            pr.rf_visible[c] =
+                rc + static_cast<uint64_t>(cfg_.regfile_extra);
+        }
+    }
+
+    if (inst.op.isStore())
+        stq_.markIssued(inst.seq);
+
+    if (inst.mispredicted && inst.seq == blocking_branch_) {
+        blocking_branch_ = kNoSeq;
+        fetch_resume_ = inst.complete_cycle;
+    }
+
+    removeFromBuffer(inst);
+    ++stats_.issued;
+    ++stats_.issued_per_cluster[cluster];
+    if (on_issue_)
+        on_issue_(inst);
+}
+
+bool
+Pipeline::tryIssueOne(DynInst &inst, int &global_issued,
+                      FuUsage &usage)
+{
+    if (inst.issued || inst.dispatch_cycle >= now_)
+        return false;
+
+    int cluster = inst.cluster;
+    if (cluster < 0) {
+        cluster = chooseExecCluster(inst, inst.op.cls, usage);
+        if (cluster < 0)
+            return false;
+    } else {
+        if (!fuAvailable(cluster, inst.op.cls, usage))
+            return false;
+        if (!srcsReady(inst, cluster))
+            return false;
+    }
+
+    int latency = cfg_.fu_latency;
+    if (inst.op.isLoad()) {
+        if (ls_ports_used_ >= cfg_.ls_ports)
+            return false;
+        if (stq_.olderStoreUnissued(inst.seq))
+            return false;
+        ++ls_ports_used_;
+        latency = loadLatency(inst);
+    }
+
+    completeIssue(inst, cluster, latency);
+    consumeFu(cluster, inst.op.cls, usage);
+    ++global_issued;
+    return true;
+}
+
+void
+Pipeline::doIssue()
+{
+    // Gather this cycle's selection candidates, oldest first.
+    std::vector<uint64_t> candidates;
+    switch (cfg_.style) {
+      case IssueBufferStyle::CentralWindow:
+        candidates = windows_[0].entries();
+        break;
+      case IssueBufferStyle::PerClusterWindow: {
+        for (const auto &w : windows_)
+            candidates.insert(candidates.end(), w.entries().begin(),
+                              w.entries().end());
+        std::sort(candidates.begin(), candidates.end());
+        break;
+      }
+      case IssueBufferStyle::Fifos:
+        candidates = fifos_->headSeqs();
+        std::sort(candidates.begin(), candidates.end());
+        break;
+    }
+
+    // Selection-policy ordering (Section 4.3; default oldest-first).
+    switch (cfg_.select_policy) {
+      case SelectPolicy::OldestFirst:
+        break; // already ascending
+      case SelectPolicy::YoungestFirst:
+        std::reverse(candidates.begin(), candidates.end());
+        break;
+      case SelectPolicy::Random:
+        for (size_t i = candidates.size(); i > 1; --i)
+            std::swap(candidates[i - 1],
+                      candidates[select_rng_.below(i)]);
+        break;
+    }
+
+    stats_.buffer_occupancy.add(static_cast<double>(bufferedCount()));
+
+    int global_issued = 0;
+    FuUsage usage;
+    for (uint64_t seq : candidates) {
+        if (global_issued >= cfg_.issue_width)
+            break;
+        bool issued_this = tryIssueOne(rob(seq), global_issued, usage);
+        // A strictly in-order pipeline stops at the first stalled
+        // instruction (no selection among younger ready ones).
+        if (!issued_this && cfg_.in_order_issue)
+            break;
+    }
+    stats_.issue_sizes.add(static_cast<double>(global_issued));
+}
+
+size_t
+Pipeline::bufferedCount() const
+{
+    size_t n = 0;
+    for (const auto &w : windows_)
+        n += static_cast<size_t>(w.size());
+    if (cfg_.style == IssueBufferStyle::Fifos && fifos_) {
+        for (int f = 0; f < fifos_->numFifos(); ++f)
+            n += fifos_->contents(f).size();
+    }
+    return n;
+}
+
+void
+Pipeline::doCommit()
+{
+    for (int n = 0; n < cfg_.retire_width && robSize() > 0; ++n) {
+        DynInst &head = rob(rob_head_);
+        if (!head.readyToCommit(now_))
+            break;
+        if (head.op.isStore()) {
+            if (ls_ports_used_ >= cfg_.ls_ports)
+                break; // no cache port this cycle; retry next cycle
+            ++ls_ports_used_;
+            mem::Cache::Access l1 =
+                dcache_.access(head.op.mem_addr, true);
+            if (!l1.hit && l2_)
+                l2_->access(head.op.mem_addr, true);
+            stq_.commit(head.seq);
+            ++stats_.stores;
+        } else if (head.op.isLoad()) {
+            ++stats_.loads;
+        }
+        if (head.old_preg >= 0)
+            rename_.release(head.old_preg);
+        ++stats_.committed;
+        ++rob_head_;
+    }
+}
+
+void
+Pipeline::doDispatch()
+{
+    for (int n = 0; n < cfg_.rename_width; ++n) {
+        if (fetch_q_.empty())
+            return;
+        DynInst &front = fetch_q_.front();
+        if (front.frontend_exit > now_)
+            return;
+        if (robFull()) {
+            ++stats_.dispatch_stall_rob;
+            return;
+        }
+
+        DynInst inst = front;
+        const trace::TraceOp &op = inst.op;
+
+        // Resolve sources against the current map (before the
+        // destination is renamed: src may equal dst).
+        inst.src1_preg =
+            op.src1 > 0 ? rename_.mapOf(op.src1) : -1;
+        inst.src2_preg =
+            op.src2 > 0 ? rename_.mapOf(op.src2) : -1;
+
+        if (op.hasDst() && !rename_.hasFreeFor(op.dst)) {
+            ++stats_.dispatch_stall_regs;
+            return;
+        }
+
+        // Central-window capacity check (steering handles the rest).
+        if (cfg_.style == IssueBufferStyle::CentralWindow &&
+            windows_[0].full()) {
+            ++stats_.dispatch_stall_buffer;
+            return;
+        }
+
+        SteerDecision d = steering_->decide(
+            inst, rename_, now_,
+            [this](uint64_t s) -> const DynInst & { return rob(s); });
+        if (!d.ok) {
+            ++stats_.dispatch_stall_buffer;
+            return;
+        }
+        inst.cluster = d.cluster;
+        inst.fifo = d.fifo;
+        switch (d.kind) {
+          case SteerKind::NewFifo:
+            ++stats_.steer_new_fifo;
+            break;
+          case SteerKind::ChainLeft:
+            ++stats_.steer_chain_left;
+            break;
+          case SteerKind::ChainRight:
+            ++stats_.steer_chain_right;
+            break;
+          default:
+            break;
+        }
+
+        if (op.hasDst()) {
+            auto r = rename_.rename(op.dst, inst.seq);
+            inst.dst_preg = r.preg;
+            inst.old_preg = r.old_preg;
+        }
+
+        // Insert into the issue buffering.
+        switch (cfg_.style) {
+          case IssueBufferStyle::CentralWindow:
+            windows_[0].insert(inst.seq);
+            break;
+          case IssueBufferStyle::PerClusterWindow:
+            windows_[static_cast<size_t>(inst.cluster)].insert(
+                inst.seq);
+            if (cfg_.steering == SteeringPolicy::WindowFifo)
+                fifos_->push(inst.fifo, inst.seq);
+            break;
+          case IssueBufferStyle::Fifos:
+            fifos_->push(inst.fifo, inst.seq);
+            break;
+        }
+
+        if (op.isStore())
+            stq_.dispatch(inst.seq, op.mem_addr);
+
+        inst.dispatch_cycle = now_;
+        inst.in_buffer = true;
+        rob_[inst.seq % rob_.size()] = inst;
+        rob_tail_ = inst.seq + 1;
+        fetch_q_.pop_front();
+        ++stats_.dispatched;
+        if (on_dispatch_)
+            on_dispatch_(rob_[inst.seq % rob_.size()]);
+    }
+}
+
+void
+Pipeline::doFetch()
+{
+    if (trace_done_)
+        return;
+    if (blocking_branch_ != kNoSeq || now_ < fetch_resume_)
+        return;
+
+    for (int n = 0; n < cfg_.fetch_width; ++n) {
+        if (static_cast<int>(fetch_q_.size()) >= cfg_.fetch_queue)
+            return;
+
+        trace::TraceOp op;
+        if (!src_.next(op)) {
+            trace_done_ = true;
+            return;
+        }
+
+        DynInst di;
+        di.op = op;
+        di.seq = next_seq_++;
+        di.frontend_exit =
+            now_ + static_cast<uint64_t>(cfg_.frontend_latency);
+        ++stats_.fetched;
+
+        if (op.isCondBranch()) {
+            ++stats_.cond_branches;
+            bool pred = cfg_.bpred.perfect ? op.taken
+                                           : bpred_->predict(op.pc);
+            bpred_->record(pred, op.taken);
+            bpred_->update(op.pc, op.taken);
+            if (pred != op.taken) {
+                ++stats_.mispredicts;
+                di.mispredicted = true;
+                blocking_branch_ = di.seq;
+                fetch_q_.push_back(di);
+                return; // delivery stalls until the branch executes
+            }
+        }
+
+        fetch_q_.push_back(di);
+
+        if (op.cls == isa::OpClass::Halt) {
+            trace_done_ = true;
+            return;
+        }
+    }
+}
+
+SimStats
+Pipeline::run(uint64_t max_instructions)
+{
+    if (now_ != 0)
+        panic("Pipeline::run is single-use; construct a new Pipeline");
+    src_.rewind();
+
+    uint64_t last_progress_cycle = 0;
+    uint64_t last_committed = 0;
+
+    while (!(trace_done_ && fetch_q_.empty() && robSize() == 0)) {
+        ls_ports_used_ = 0;
+        doCommit();
+        doIssue();
+        doDispatch();
+        if (stats_.fetched >= max_instructions)
+            trace_done_ = true;
+        doFetch();
+        ++now_;
+
+        if (stats_.committed != last_committed) {
+            last_committed = stats_.committed;
+            last_progress_cycle = now_;
+        } else if (now_ - last_progress_cycle > 100000) {
+            panic("pipeline deadlock: no commit in 100000 cycles "
+                  "(config %s, cycle %llu, rob %zu)",
+                  cfg_.name.c_str(), (unsigned long long)now_,
+                  robSize());
+        }
+    }
+
+    stats_.cycles = now_;
+    stats_.dcache_accesses = dcache_.accesses();
+    stats_.dcache_misses = dcache_.misses();
+    if (l2_) {
+        stats_.l2_accesses = l2_->accesses();
+        stats_.l2_misses = l2_->misses();
+    }
+    return stats_;
+}
+
+SimStats
+simulate(const SimConfig &cfg, trace::TraceSource &src,
+         uint64_t max_instructions)
+{
+    Pipeline p(cfg, src);
+    return p.run(max_instructions);
+}
+
+} // namespace cesp::uarch

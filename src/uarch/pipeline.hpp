@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The trace-driven out-of-order timing simulator: the Figure 1 / 11
+ * pipeline (fetch, decode, rename/steer, wakeup/select, execute,
+ * d-cache access, writeback/bypass, commit) with all the Table 3
+ * machine parameters, the dependence-based FIFO organization of
+ * Section 5, and the clustered variants of Section 5.6.
+ *
+ * Simulation is cycle-driven. Each cycle processes commit, issue
+ * (wakeup/select), dispatch (rename + steer + buffer insert), and
+ * fetch, in that order, using per-physical-register ready timestamps
+ * so dependent single-cycle operations issue in back-to-back cycles.
+ * Recovery is the standard trace-driven model: a mispredicted
+ * conditional branch stalls instruction delivery until it executes.
+ */
+
+#ifndef CESP_UARCH_PIPELINE_HPP
+#define CESP_UARCH_PIPELINE_HPP
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bpred/bpred.hpp"
+#include "common/stats.hpp"
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+#include "trace/trace.hpp"
+#include "uarch/config.hpp"
+#include "uarch/dyninst.hpp"
+#include "uarch/fifos.hpp"
+#include "uarch/lsq.hpp"
+#include "uarch/rename.hpp"
+#include "uarch/steering.hpp"
+#include "uarch/window.hpp"
+
+namespace cesp::uarch {
+
+/** End-of-run statistics. */
+struct SimStats
+{
+    std::string config_name;
+
+    uint64_t cycles = 0;
+    uint64_t fetched = 0;
+    uint64_t dispatched = 0;
+    uint64_t issued = 0;
+    uint64_t committed = 0;
+
+    uint64_t cond_branches = 0;
+    uint64_t mispredicts = 0;
+
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t store_forwards = 0;
+    uint64_t dcache_accesses = 0;
+    uint64_t dcache_misses = 0;
+    uint64_t l2_accesses = 0;
+    uint64_t l2_misses = 0;
+
+    /** Committed instructions that used an inter-cluster bypass. */
+    uint64_t intercluster_bypasses = 0;
+
+    /** Section 5.1 steering-case counters (FIFO organizations). */
+    uint64_t steer_new_fifo = 0;
+    uint64_t steer_chain_left = 0;
+    uint64_t steer_chain_right = 0;
+
+    uint64_t dispatch_stall_buffer = 0; //!< window/FIFO full cycles
+    uint64_t dispatch_stall_regs = 0;   //!< no free physical register
+    uint64_t dispatch_stall_rob = 0;    //!< in-flight limit reached
+
+    uint64_t issued_per_cluster[kMaxClusters] = {};
+
+    /** Per-cycle occupancy of the issue buffering (window/FIFOs). */
+    Histogram buffer_occupancy{160, 1.0};
+    /** Instructions issued per cycle. */
+    Histogram issue_sizes{17, 1.0};
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+            static_cast<double>(cycles) : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return cond_branches ? static_cast<double>(mispredicts) /
+            static_cast<double>(cond_branches) : 0.0;
+    }
+
+    /** Section 5.6.4 metric, in percent of committed instructions. */
+    double
+    interClusterPct() const
+    {
+        return committed ? 100.0 *
+            static_cast<double>(intercluster_bypasses) /
+            static_cast<double>(committed) : 0.0;
+    }
+
+    double
+    dcacheMissRate() const
+    {
+        return dcache_accesses ? static_cast<double>(dcache_misses) /
+            static_cast<double>(dcache_accesses) : 0.0;
+    }
+};
+
+/** The timing simulator. */
+class Pipeline
+{
+  public:
+    /**
+     * @param cfg machine configuration (validated here)
+     * @param src trace source; rewound at the start of run()
+     */
+    Pipeline(const SimConfig &cfg, trace::TraceSource &src);
+
+    /**
+     * Simulate until the trace ends (or @p max_instructions have been
+     * fetched) and the machine drains. Returns the statistics.
+     */
+    SimStats run(uint64_t max_instructions = UINT64_MAX);
+
+    const SimConfig &config() const { return cfg_; }
+
+    /** Callback observing per-instruction pipeline events. */
+    using InstObserver = std::function<void(const DynInst &)>;
+
+    /** Observe every instruction as it is dispatched (post-steer). */
+    void
+    setDispatchObserver(InstObserver f)
+    {
+        on_dispatch_ = std::move(f);
+    }
+
+    /** Observe every instruction as it issues. */
+    void
+    setIssueObserver(InstObserver f)
+    {
+        on_issue_ = std::move(f);
+    }
+
+  private:
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /** Per-cycle functional unit occupancy. */
+    struct FuUsage
+    {
+        int total[kMaxClusters] = {};
+        int typed[kMaxClusters][3] = {}; //!< [cluster][fu class]
+    };
+
+    /** Unit class an op class executes on (0 alu, 1 mem, 2 branch). */
+    static int fuClassOf(isa::OpClass cls);
+
+    bool fuAvailable(int cluster, isa::OpClass cls,
+                     const FuUsage &usage) const;
+    void consumeFu(int cluster, isa::OpClass cls, FuUsage &usage);
+
+    bool tryIssueOne(DynInst &inst, int &global_issued,
+                     FuUsage &usage);
+    bool srcsReady(const DynInst &inst, int cluster) const;
+    size_t bufferedCount() const;
+    uint64_t srcReadyCycle(const DynInst &inst, int cluster) const;
+    int chooseExecCluster(const DynInst &inst, isa::OpClass cls,
+                          const FuUsage &usage) const;
+    /** Result-forwarding hops from cluster @p from to @p to. */
+    int bypassHops(int from, int to) const;
+    void completeIssue(DynInst &inst, int cluster, int latency);
+    void removeFromBuffer(DynInst &inst);
+    int loadLatency(DynInst &inst);
+
+    DynInst &rob(uint64_t seq);
+    const DynInst &rob(uint64_t seq) const;
+    size_t robSize() const { return rob_tail_ - rob_head_; }
+    bool robFull() const;
+
+    SimConfig cfg_;
+    trace::TraceSource &src_;
+
+    std::unique_ptr<bpred::BranchPredictor> bpred_;
+    mem::Cache dcache_;
+    std::unique_ptr<mem::Cache> l2_; //!< optional second level
+    RenameState rename_;
+    std::unique_ptr<FifoSet> fifos_;
+    std::vector<IssueWindow> windows_;
+    std::unique_ptr<Steering> steering_;
+    StoreQueue stq_;
+
+    std::vector<DynInst> rob_;   //!< ring buffer, slot = seq % size
+    uint64_t rob_head_ = 0;      //!< oldest in-flight seq
+    uint64_t rob_tail_ = 0;      //!< next seq to dispatch
+
+    std::deque<DynInst> fetch_q_; //!< fetched, awaiting rename
+    uint64_t next_seq_ = 0;
+    bool trace_done_ = false;
+
+    uint64_t now_ = 0;
+    uint64_t fetch_resume_ = 0;      //!< fetch stalled until this cycle
+    uint64_t blocking_branch_ = kNoSeq; //!< unresolved mispredict
+
+    int ls_ports_used_ = 0; //!< per-cycle cache-port counter
+    Rng select_rng_{0};     //!< for SelectPolicy::Random
+
+    InstObserver on_dispatch_;
+    InstObserver on_issue_;
+
+    SimStats stats_;
+};
+
+/** Convenience: build, run, and return statistics. */
+SimStats simulate(const SimConfig &cfg, trace::TraceSource &src,
+                  uint64_t max_instructions = UINT64_MAX);
+
+} // namespace cesp::uarch
+
+#endif // CESP_UARCH_PIPELINE_HPP

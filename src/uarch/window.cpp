@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the issue window.
+ */
+
+#include "uarch/window.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cesp::uarch {
+
+IssueWindow::IssueWindow(int capacity, WindowOrder order)
+    : capacity_(capacity), order_(order)
+{
+    if (capacity < 1)
+        panic("IssueWindow: capacity %d < 1", capacity);
+    if (order_ == WindowOrder::SlotPriority)
+        slots_.assign(static_cast<size_t>(capacity), kEmptySlot);
+    else
+        compacted_.reserve(static_cast<size_t>(capacity));
+}
+
+void
+IssueWindow::insert(uint64_t seq)
+{
+    if (full())
+        panic("IssueWindow: insert into full window");
+    if (order_ == WindowOrder::AgeCompacted) {
+        if (!compacted_.empty() && compacted_.back() >= seq)
+            panic("IssueWindow: out-of-order insert");
+        compacted_.push_back(seq);
+    } else {
+        // Lowest free slot: freed slots are reused out of age order.
+        auto it = std::find(slots_.begin(), slots_.end(), kEmptySlot);
+        if (it == slots_.end())
+            panic("IssueWindow: no free slot despite size check");
+        *it = seq;
+    }
+    ++size_;
+}
+
+void
+IssueWindow::remove(uint64_t seq)
+{
+    if (order_ == WindowOrder::AgeCompacted) {
+        auto it = std::lower_bound(compacted_.begin(),
+                                   compacted_.end(), seq);
+        if (it == compacted_.end() || *it != seq)
+            panic("IssueWindow: remove of absent instruction");
+        compacted_.erase(it);
+    } else {
+        auto it = std::find(slots_.begin(), slots_.end(), seq);
+        if (it == slots_.end())
+            panic("IssueWindow: remove of absent instruction");
+        *it = kEmptySlot;
+    }
+    --size_;
+}
+
+const std::vector<uint64_t> &
+IssueWindow::entries() const
+{
+    if (order_ == WindowOrder::AgeCompacted)
+        return compacted_;
+    scratch_.clear();
+    for (uint64_t s : slots_)
+        if (s != kEmptySlot)
+            scratch_.push_back(s);
+    return scratch_;
+}
+
+void
+IssueWindow::clear()
+{
+    compacted_.clear();
+    if (order_ == WindowOrder::SlotPriority)
+        slots_.assign(static_cast<size_t>(capacity_), kEmptySlot);
+    size_ = 0;
+}
+
+} // namespace cesp::uarch

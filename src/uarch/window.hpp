@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Flexible issue window: a capacity-bounded set of waiting
+ * instructions from which ready instructions may issue from any
+ * position. Two organizations (paper Section 4.3.1):
+ *
+ *  - AgeCompacted: the window compacts toward the high-priority end
+ *    every time instructions issue, so position priority equals age
+ *    (oldest-first) — the policy the paper adopts from the HP
+ *    PA-8000.
+ *  - SlotPriority: no compaction. Dispatch fills the lowest free
+ *    slot and priority is by slot position, so after issues create
+ *    holes, priority is no longer strictly age order. The paper
+ *    conjectures such a "restricted form of compacting" performs the
+ *    same; bench/abl_window_compaction checks it.
+ */
+
+#ifndef CESP_UARCH_WINDOW_HPP
+#define CESP_UARCH_WINDOW_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace cesp::uarch {
+
+/** Window priority organization. */
+enum class WindowOrder
+{
+    AgeCompacted, //!< priority == age (compaction on issue)
+    SlotPriority, //!< priority == slot index (no compaction)
+};
+
+/** Flexible issue window. */
+class IssueWindow
+{
+  public:
+    explicit IssueWindow(int capacity,
+                         WindowOrder order = WindowOrder::AgeCompacted);
+
+    int capacity() const { return capacity_; }
+    int size() const { return size_; }
+    bool full() const { return size_ >= capacity_; }
+    bool empty() const { return size_ == 0; }
+    WindowOrder order() const { return order_; }
+
+    /** Insert a dispatched instruction (must be youngest so far). */
+    void insert(uint64_t seq);
+
+    /** Remove an issued instruction. */
+    void remove(uint64_t seq);
+
+    /**
+     * Waiting instructions in selection-priority order: ascending
+     * age for AgeCompacted, slot order for SlotPriority.
+     */
+    const std::vector<uint64_t> &entries() const;
+
+    void clear();
+
+  private:
+    static constexpr uint64_t kEmptySlot = UINT64_MAX;
+
+    int capacity_;
+    WindowOrder order_;
+    int size_ = 0;
+    std::vector<uint64_t> slots_;           //!< SlotPriority storage
+    std::vector<uint64_t> compacted_;       //!< AgeCompacted storage
+    mutable std::vector<uint64_t> scratch_; //!< entries() cache
+};
+
+} // namespace cesp::uarch
+
+#endif // CESP_UARCH_WINDOW_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Implementation of the transistor-count estimates.
+ */
+
+#include "vlsi/area.hpp"
+
+#include "common/logging.hpp"
+
+namespace cesp::vlsi {
+
+namespace {
+
+constexpr uint64_t kSramCell = 6;      // 6T cell
+constexpr uint64_t kPortCost = 2;      // extra access pair per port
+constexpr uint64_t kCamBitCell = 10;   // storage + XOR pulldown
+constexpr uint64_t kArbiterCell = 16;  // 4-in priority arbiter
+constexpr uint64_t kTagDriver = 40;    // per tag-bus bit driver
+
+uint64_t
+ramBits(uint64_t bits, int ports)
+{
+    return bits * (kSramCell +
+                   kPortCost * static_cast<uint64_t>(ports));
+}
+
+uint64_t
+arbiterCells(int leaves)
+{
+    // A 4-ary tree over `leaves` requesters.
+    uint64_t cells = 0;
+    int level = leaves;
+    while (level > 1) {
+        level = (level + 3) / 4;
+        cells += static_cast<uint64_t>(level);
+    }
+    return cells;
+}
+
+} // namespace
+
+uint64_t
+AreaModel::wakeupCam(int window_size, int issue_width)
+{
+    if (window_size < 1 || issue_width < 1)
+        fatal("area model: bad wakeup shape %dx%d", window_size,
+              issue_width);
+    uint64_t w = static_cast<uint64_t>(window_size);
+    uint64_t iw = static_cast<uint64_t>(issue_width);
+    // Two operand tags per entry, each compared against IW result
+    // tags: kTagBits comparator bits per (entry, tag, port).
+    uint64_t comparators = w * 2 * iw * kTagBits * kCamBitCell;
+    // Entry payload RAM with one write (dispatch) and one read
+    // (issue) port.
+    uint64_t payload = w * ramBits(kEntryPayloadBits, 2);
+    // Tag bus drivers: IW buses of kTagBits.
+    uint64_t drivers = iw * kTagBits * kTagDriver;
+    return comparators + payload + drivers;
+}
+
+uint64_t
+AreaModel::selectTree(int window_size)
+{
+    if (window_size < 2)
+        fatal("area model: select tree needs >= 2 requesters");
+    return arbiterCells(window_size) * kArbiterCell * 4;
+}
+
+uint64_t
+AreaModel::reservationTable(int phys_regs, int issue_width)
+{
+    if (phys_regs < 1 || issue_width < 1)
+        fatal("area model: bad reservation shape");
+    // One bit per register; 2*IW read ports (two operands per
+    // instruction at the FIFO heads) + IW write ports.
+    return ramBits(static_cast<uint64_t>(phys_regs),
+                   3 * issue_width);
+}
+
+uint64_t
+AreaModel::fifoBuffers(int num_fifos, int depth)
+{
+    if (num_fifos < 1 || depth < 1)
+        fatal("area model: bad FIFO shape %dx%d", num_fifos, depth);
+    uint64_t entries = static_cast<uint64_t>(num_fifos) *
+        static_cast<uint64_t>(depth);
+    // Payload RAM (1W + 1R port) plus head/tail pointer registers
+    // and the free-list bookkeeping (~64T per FIFO).
+    return entries * ramBits(kEntryPayloadBits, 2) +
+        static_cast<uint64_t>(num_fifos) * 64;
+}
+
+} // namespace cesp::vlsi

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Implementation of the bypass delay model.
+ */
+
+#include "vlsi/bypass_delay.hpp"
+
+#include "common/logging.hpp"
+
+namespace cesp::vlsi {
+
+double
+BypassDelayModel::wireLengthLambda(int issue_width)
+{
+    if (issue_width < 1 || issue_width > 32)
+        fatal("bypass delay model: issue width %d outside [1, 32]",
+              issue_width);
+    double iw = issue_width;
+    // Fitted exactly to Table 1: L(4) = 20500, L(8) = 49000 lambda.
+    return 4125.0 * iw + 250.0 * iw * iw;
+}
+
+double
+BypassDelayModel::totalPs(int issue_width) const
+{
+    return tech_.wireDelayPs(wireLengthLambda(issue_width));
+}
+
+int
+BypassDelayModel::numBypassPaths(int issue_width, int stages_after_result)
+{
+    if (issue_width < 1 || stages_after_result < 0)
+        fatal("bypass paths: bad parameters IW=%d S=%d", issue_width,
+              stages_after_result);
+    // IW^2 * 2 * S paths for 2-input functional units (Section 4.4).
+    return issue_width * issue_width * 2 * stages_after_result;
+}
+
+} // namespace cesp::vlsi

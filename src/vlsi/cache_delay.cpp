@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Implementation of the cache access-time model.
+ */
+
+#include "vlsi/cache_delay.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace cesp::vlsi {
+
+namespace {
+
+// 0.18 um base coefficients (ps).
+constexpr double kDecodeBase = 80.0;
+constexpr double kDecodePerLog2Row = 18.0;
+constexpr double kWordlineBase = 60.0;
+constexpr double kWordlinePerBit = 0.35;
+constexpr double kBitlineBase = 100.0;
+constexpr double kBitlinePerRow = 0.45;
+constexpr double kSense = 90.0;
+constexpr double kTagBase = 60.0;
+constexpr double kTagPerWay = 20.0;
+constexpr int kMaxRows = 256;
+
+bool
+isPow2(uint32_t v)
+{
+    return v && !(v & (v - 1));
+}
+
+} // namespace
+
+CacheDelayModel::CacheDelayModel(Process p) : process_(p)
+{
+    switch (p) {
+      case Process::um0_8:
+        logic_scale_ = 0.8 / 0.18;
+        wire_scale_ = 2.9;
+        break;
+      case Process::um0_35:
+        logic_scale_ = 0.35 / 0.18;
+        wire_scale_ = 1.75;
+        break;
+      case Process::um0_18:
+        logic_scale_ = 1.0;
+        wire_scale_ = 1.0;
+        break;
+      default:
+        panic("unknown process id %d", static_cast<int>(p));
+    }
+}
+
+CacheDelay
+CacheDelayModel::delay(uint32_t size_bytes, int associativity,
+                       uint32_t line_bytes) const
+{
+    if (!isPow2(size_bytes) || !isPow2(line_bytes))
+        fatal("cache delay model: size and line must be powers of "
+              "two");
+    if (associativity < 1 || associativity > 32)
+        fatal("cache delay model: associativity %d outside [1, 32]",
+              associativity);
+    uint32_t line_total = line_bytes *
+        static_cast<uint32_t>(associativity);
+    if (size_bytes < line_total || size_bytes > (16u << 20))
+        fatal("cache delay model: size %u out of range", size_bytes);
+
+    uint32_t sets = size_bytes / line_total;
+    uint32_t rows = sets < kMaxRows ? sets : kMaxRows;
+    // Folding sets into wider rows keeps the bitlines short, like
+    // the array-partitioning parameters of Wilton & Jouppi.
+    double row_bits = static_cast<double>(line_total) * 8.0 *
+        (static_cast<double>(sets) / rows);
+
+    CacheDelay d;
+    d.decode = logic_scale_ *
+        (kDecodeBase + kDecodePerLog2Row * std::log2(
+            static_cast<double>(rows)));
+    d.wordline = logic_scale_ * kWordlineBase +
+        wire_scale_ * kWordlinePerBit * row_bits;
+    d.bitline = logic_scale_ * kBitlineBase +
+        wire_scale_ * kBitlinePerRow * rows;
+    d.senseamp = logic_scale_ * kSense;
+    d.tag_compare = logic_scale_ *
+        (kTagBase + kTagPerWay * associativity);
+    return d;
+}
+
+} // namespace cesp::vlsi

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of the Lagrange interpolation helpers.
+ */
+
+#include "vlsi/interpolate.hpp"
+
+#include "common/logging.hpp"
+
+namespace cesp::vlsi {
+
+namespace {
+
+/** Lagrange basis quadratic L_i(x) for anchor triple xs. */
+double
+basis(const std::array<double, 3> &xs, int i, double x)
+{
+    double num = 1.0, den = 1.0;
+    for (int j = 0; j < 3; ++j) {
+        if (j == i)
+            continue;
+        num *= x - xs[j];
+        den *= xs[i] - xs[j];
+    }
+    return num / den;
+}
+
+} // namespace
+
+Quad1D::Quad1D(const std::array<double, 3> &xs,
+               const std::array<double, 3> &ys)
+{
+    for (int i = 0; i < 3; ++i)
+        for (int j = i + 1; j < 3; ++j)
+            if (xs[i] == xs[j])
+                panic("Quad1D anchors must be distinct");
+
+    // Expand sum of Lagrange terms into a + b*x + c*x^2.
+    for (int i = 0; i < 3; ++i) {
+        int j = (i + 1) % 3, k = (i + 2) % 3;
+        double den = (xs[i] - xs[j]) * (xs[i] - xs[k]);
+        double w = ys[i] / den;
+        c_ += w;
+        b_ -= w * (xs[j] + xs[k]);
+        a_ += w * xs[j] * xs[k];
+    }
+}
+
+double
+Quad1D::operator()(double x) const
+{
+    return a_ + b_ * x + c_ * x * x;
+}
+
+Quad2D::Quad2D(const std::array<double, 3> &xs,
+               const std::array<double, 3> &ys,
+               const std::array<std::array<double, 3>, 3> &zs)
+    : xs_(xs), ys_(ys), zs_(zs)
+{
+}
+
+double
+Quad2D::operator()(double x, double y) const
+{
+    double v = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        double lx = basis(xs_, i, x);
+        for (int j = 0; j < 3; ++j)
+            v += zs_[i][j] * lx * basis(ys_, j, y);
+    }
+    return v;
+}
+
+} // namespace cesp::vlsi

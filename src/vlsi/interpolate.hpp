@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quadratic (Lagrange) interpolation helpers used to evaluate the
+ * calibrated delay models between / slightly beyond their anchor
+ * points.
+ *
+ * The paper reduces every Hspice-measured delay to a low-order
+ * polynomial in issue width IW and window size WS (Sections 4.1.2,
+ * 4.2.2: c0 + c1*IW + c2*IW^2, and quadratic-in-WS tag drive). We
+ * therefore represent each calibrated curve as the unique quadratic
+ * through its three published anchor points (Quad1D), and each
+ * calibrated surface as the tensor-product quadratic through its
+ * 3x3 anchor grid (Quad2D). Evaluating at an anchor reproduces the
+ * paper's number exactly; evaluating elsewhere interpolates with the
+ * paper's own functional form.
+ */
+
+#ifndef CESP_VLSI_INTERPOLATE_HPP
+#define CESP_VLSI_INTERPOLATE_HPP
+
+#include <array>
+
+namespace cesp::vlsi {
+
+/** The unique quadratic a + b*x + c*x^2 through three (x, y) points. */
+class Quad1D
+{
+  public:
+    Quad1D() = default;
+
+    /** Construct from three distinct abscissae and their values. */
+    Quad1D(const std::array<double, 3> &xs,
+           const std::array<double, 3> &ys);
+
+    /** Evaluate the quadratic at x (interpolation or extrapolation). */
+    double operator()(double x) const;
+
+    double coeffA() const { return a_; } //!< constant term
+    double coeffB() const { return b_; } //!< linear term
+    double coeffC() const { return c_; } //!< quadratic term
+
+  private:
+    double a_ = 0.0, b_ = 0.0, c_ = 0.0;
+};
+
+/**
+ * Tensor-product quadratic surface through a 3x3 grid of anchors:
+ * f(x, y) = sum_{i,j} z[i][j] * Lx_i(x) * Ly_j(y), where Lx/Ly are the
+ * Lagrange basis quadratics of the x- and y-anchor triples. Exact at
+ * all nine anchors; quadratic in each variable elsewhere.
+ */
+class Quad2D
+{
+  public:
+    Quad2D() = default;
+
+    /**
+     * @param xs the three x anchors (e.g. issue widths 2, 4, 8)
+     * @param ys the three y anchors (e.g. window sizes 16, 32, 64)
+     * @param zs zs[i][j] = value at (xs[i], ys[j])
+     */
+    Quad2D(const std::array<double, 3> &xs,
+           const std::array<double, 3> &ys,
+           const std::array<std::array<double, 3>, 3> &zs);
+
+    /** Evaluate the surface at (x, y). */
+    double operator()(double x, double y) const;
+
+  private:
+    std::array<double, 3> xs_{}, ys_{};
+    std::array<std::array<double, 3>, 3> zs_{};
+};
+
+} // namespace cesp::vlsi
+
+#endif // CESP_VLSI_INTERPOLATE_HPP

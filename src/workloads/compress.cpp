@@ -1,0 +1,121 @@
+/**
+ * @file
+ * "compress" workload: LZW compression over a self-generated,
+ * repetitive byte stream, using an open-addressing hash dictionary —
+ * the dominant loop of SPEC'95 129.compress. The hash-probe recurrence
+ * (code -> hash -> probe -> next code) produces the serial dependence
+ * chains that make compress sensitive to issue latency and slow
+ * bypasses.
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kCompressSource = R"ASM(
+# LZW compression kernel.
+#   input : 8192 bytes, LCG-generated with 78% repeat probability
+#           over a 16-symbol alphabet (compressible, like text)
+#   dict  : 4096-entry open hash, 12 bytes per entry
+#           (prefix code, appended char, assigned code)
+#   output: rotate-add checksum of emitted codes, printed in hex
+
+        .data
+inbuf:  .space 8192
+dict:   .space 49152            # 4096 * 12
+
+        .text
+main:
+        # ---- generate input --------------------------------------
+        la   s0, inbuf
+        li   s1, 8192           # N
+        li   s3, 12345          # LCG state
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0              # i
+        li   t7, 0              # previous byte
+gen:    mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 16
+        andi t1, t0, 255
+        sltiu t2, t1, 200       # 200/256 = repeat previous symbol
+        beqz t2, gennew
+        move t3, t7
+        j    genst
+gennew: andi t3, t0, 15         # new symbol from 16-wide alphabet
+genst:  add  t8, s0, t6
+        sb   t3, 0(t8)
+        move t7, t3
+        addi t6, t6, 1
+        blt  t6, s1, gen
+
+        # ---- LZW compression -------------------------------------
+        la   s4, dict
+        li   s5, 256            # next_code
+        li   s2, 0              # checksum
+        lbu  s6, 0(s0)          # w = input[0]
+        li   t6, 1              # i
+lzw:    add  t8, s0, t6
+        lbu  s7, 0(t8)          # c = input[i]
+        slli t0, s6, 5
+        xor  t0, t0, s7
+        andi t7, t0, 4095       # h = ((w << 5) ^ c) & 4095
+probe:  slli t1, t7, 3
+        slli t2, t7, 2
+        add  t1, t1, t2
+        add  t1, s4, t1         # entry = &dict[h]
+        lw   t2, 8(t1)          # entry->code
+        beqz t2, miss
+        lw   t3, 0(t1)          # entry->prefix
+        bne  t3, s6, nexth
+        lw   t4, 4(t1)          # entry->char
+        bne  t4, s7, nexth
+        move s6, t2             # hit: w = entry->code
+        j    adv
+nexth:  addi t7, t7, 1
+        andi t7, t7, 4095
+        j    probe
+miss:   # emit w into the checksum: sum = rot1(sum) + w
+        slli t3, s2, 1
+        srli t4, s2, 31
+        or   s2, t3, t4
+        add  s2, s2, s6
+        # dict[h] = { w, c, next_code++ }
+        sw   s6, 0(t1)
+        sw   s7, 4(t1)
+        sw   s5, 8(t1)
+        addi s5, s5, 1
+        # dictionary nearly full: CLEAR (like compress's block reset)
+        li   t0, 3328
+        bne  s5, t0, nomclr
+        la   t1, dict
+        li   t2, 4096
+clr:    sw   zero, 8(t1)
+        addi t1, t1, 12
+        addi t2, t2, -1
+        bnez t2, clr
+        li   s5, 256
+nomclr: move s6, s7             # w = c
+adv:    addi t6, t6, 1
+        blt  t6, s1, lzw
+
+        add  s2, s2, s5         # fold final next_code into checksum
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87         # 'a' - 10
+        j    pput
+pdig:   addi a0, t0, 48         # '0'
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kCompressGolden = "3a900ffc";
+
+} // namespace cesp::workloads

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * "gcc" workload: a compiler front-end kernel — character-class
+ * lookup, jump-table token dispatch, identifier hashing into a symbol
+ * table, and numeric-literal scanning over self-generated source
+ * text. SPEC'95 126.gcc spends much of its time in exactly this kind
+ * of irregular, branchy, table-driven code.
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kGccSource = R"ASM(
+# Lexer kernel.
+#   input  : 12288 bytes of LCG-generated pseudo source text
+#   tables : 256-byte character-class table, 6-entry handler jump
+#            table, 1024-entry symbol hash table
+#   output : rotate-add checksum over tokens, printed in hex
+
+        .data
+src:    .space 12288
+ctab:   .space 256
+jtab:   .word hspace, hletter, hdigit, hpunct, hop, hother
+symtab: .space 4096             # 1024 words
+plist:  .byte 44, 59, 40, 41, 123, 125, 46
+olist:  .byte 43, 45, 42, 47, 61, 60, 62
+
+        .text
+main:
+        # ---- build the class table -------------------------------
+        la   s0, ctab
+        li   t0, 0
+        li   t9, 256
+        li   t2, 5              # default class: other
+ctl:    add  t1, s0, t0
+        sb   t2, 0(t1)
+        addi t0, t0, 1
+        blt  t0, t9, ctl
+        li   t2, 0              # whitespace
+        sb   t2, 32(s0)
+        sb   t2, 10(s0)
+        li   t0, 97             # letters a-z
+        li   t9, 123
+        li   t2, 1
+ltl:    add  t1, s0, t0
+        sb   t2, 0(t1)
+        addi t0, t0, 1
+        blt  t0, t9, ltl
+        li   t0, 48             # digits 0-9
+        li   t9, 58
+        li   t2, 2
+dtl:    add  t1, s0, t0
+        sb   t2, 0(t1)
+        addi t0, t0, 1
+        blt  t0, t9, dtl
+        li   t2, 3              # punctuation , ; ( ) { } .
+        sb   t2, 44(s0)
+        sb   t2, 59(s0)
+        sb   t2, 40(s0)
+        sb   t2, 41(s0)
+        sb   t2, 123(s0)
+        sb   t2, 125(s0)
+        sb   t2, 46(s0)
+        li   t2, 4              # operators + - * / = < >
+        sb   t2, 43(s0)
+        sb   t2, 45(s0)
+        sb   t2, 42(s0)
+        sb   t2, 47(s0)
+        sb   t2, 61(s0)
+        sb   t2, 60(s0)
+        sb   t2, 62(s0)
+
+        # ---- generate the source text -----------------------------
+        la   s4, src
+        li   s5, 12288
+        li   s3, 98765
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+igen:   mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 18
+        andi t1, t0, 63
+        sltiu t2, t1, 10        # 10/64 whitespace
+        beqz t2, ig1
+        li   t3, 32
+        j    igst
+ig1:    sltiu t2, t1, 40        # 30/64 letters
+        beqz t2, ig2
+        addi t3, t1, -10
+        li   t7, 26
+        rem  t3, t3, t7
+        addi t3, t3, 97
+        j    igst
+ig2:    sltiu t2, t1, 50        # 10/64 digits
+        beqz t2, ig3
+        addi t3, t1, -40
+        addi t3, t3, 48
+        j    igst
+ig3:    sltiu t2, t1, 57        # 7/64 punctuation
+        beqz t2, ig4
+        addi t3, t1, -50
+        la   t7, plist
+        add  t7, t7, t3
+        lbu  t3, 0(t7)
+        j    igst
+ig4:    addi t3, t1, -57        # 7/64 operators
+        la   t7, olist
+        add  t7, t7, t3
+        lbu  t3, 0(t7)
+igst:   add  t7, s4, t6
+        sb   t3, 0(t7)
+        addi t6, t6, 1
+        blt  t6, s5, igen
+
+        # ---- lex -----------------------------------------------
+        la   s1, src
+        la   s5, src+12288
+        li   s2, 0              # checksum
+        li   s6, 0              # token count
+        la   t9, jtab
+lex:    bgeu s1, s5, ldone
+        lbu  t0, 0(s1)
+        add  t1, s0, t0
+        lbu  t2, 0(t1)          # class
+        slli t3, t2, 2
+        add  t3, t9, t3
+        lw   t3, 0(t3)
+        jr   t3                 # dispatch
+
+hspace: addi s1, s1, 1
+        j    lex
+
+hletter:li   t4, 0              # identifier hash
+hl1:    lbu  t0, 0(s1)
+        add  t1, s0, t0
+        lbu  t2, 0(t1)
+        addi t5, t2, -1         # letter or digit continues the ident
+        sltiu t5, t5, 2
+        beqz t5, hl2
+        slli t6, t4, 5
+        sub  t4, t6, t4         # h = h * 31 + c
+        add  t4, t4, t0
+        addi s1, s1, 1
+        bltu s1, s5, hl1
+hl2:    andi t5, t4, 1023       # symbol-table insert
+        slli t5, t5, 2
+        la   t6, symtab
+        add  t6, t6, t5
+        lw   t7, 0(t6)
+        add  t7, t7, t4
+        sw   t7, 0(t6)
+        addi s6, s6, 1
+        slli t0, s2, 1
+        srli t1, s2, 31
+        or   s2, t0, t1
+        add  s2, s2, t4
+        j    lex
+
+hdigit: li   t4, 0              # numeric literal value
+hd1:    lbu  t0, 0(s1)
+        addi t5, t0, -48
+        sltiu t5, t5, 10
+        beqz t5, hd2
+        li   t6, 10
+        mul  t4, t4, t6
+        addi t7, t0, -48
+        add  t4, t4, t7
+        addi s1, s1, 1
+        bltu s1, s5, hd1
+hd2:    add  s2, s2, t4
+        addi s6, s6, 1
+        j    lex
+
+hpunct: addi s2, s2, 3
+        addi s6, s6, 1
+        addi s1, s1, 1
+        j    lex
+
+hop:    addi s2, s2, 5
+        addi s6, s6, 1
+        addi s1, s1, 1
+        bgeu s1, s5, lex
+        lbu  t0, 0(s1)          # lookahead for compound operator
+        li   t1, 61
+        bne  t0, t1, lex
+        addi s2, s2, 7
+        addi s1, s1, 1
+        j    lex
+
+hother: addi s1, s1, 1
+        j    lex
+
+ldone:  la   t0, symtab         # fold symbol table into checksum
+        li   t1, 1024
+sf:     lw   t2, 0(t0)
+        add  s2, s2, t2
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, sf
+        add  s2, s2, s6
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kGccGolden = "15034a6d";
+
+} // namespace cesp::workloads

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * "go" workload: recursive game-tree search over an 8x8 board with
+ * alpha-beta pruning and a positional leaf evaluator — the shape of
+ * SPEC'95 099.go's move generation/selection: deep recursion,
+ * data-dependent branches that defeat history predictors, and
+ * byte-array board accesses.
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kGoSource = R"ASM(
+# Board-search kernel.
+#   board : 64 cells, ~half empty, stones of two colors (LCG)
+#   search: depth-3 negamax, up to 4 candidate moves per node chosen
+#           by strided probing, alpha-beta pruning
+#   output: rotate-add checksum over 40 root search scores
+
+        .data
+board:  .space 64
+
+        .text
+main:
+        la   s0, board
+        # ---- generate the board ----------------------------------
+        li   s3, 55555
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+        li   t9, 64
+bgen:   mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 20
+        andi t1, t0, 3
+        sltiu t2, t1, 2         # half the cells are empty
+        beqz t2, bg1
+        li   t3, 0
+        j    bgst
+bg1:    addi t3, t1, -1         # stone color 1 or 2
+bgst:   add  t7, s0, t6
+        sb   t3, 0(t7)
+        addi t6, t6, 1
+        blt  t6, t9, bgen
+
+        # ---- repeated root searches on an evolving board ---------
+        li   s2, 0              # checksum
+        li   s7, 0              # iteration
+gloop:  li   a0, 3              # depth
+        li   a1, -1000000       # alpha
+        li   a2, 1000000        # beta
+        jal  search
+        slli t0, s2, 1
+        srli t1, s2, 31
+        or   s2, t0, t1
+        add  s2, s2, v0
+        li   t0, 11             # play a stone, changing the position
+        mul  t0, s7, t0
+        addi t0, t0, 3
+        andi t0, t0, 63
+        add  t1, s0, t0
+        andi t2, v0, 1
+        addi t2, t2, 1
+        sb   t2, 0(t1)
+        addi s7, s7, 1
+        li   t3, 40
+        blt  s7, t3, gloop
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+
+# ---- int search(depth a0, alpha a1, beta a2) -> v0 ---------------
+search:
+        addi sp, sp, -32
+        sw   ra, 0(sp)
+        sw   s1, 4(sp)
+        sw   s2, 8(sp)
+        sw   s3, 12(sp)
+        sw   s4, 16(sp)
+        sw   s5, 20(sp)
+        sw   s6, 24(sp)
+        move s1, a0             # depth
+        move s2, a1             # alpha
+        move s3, a2             # beta
+        bnez s1, srec
+        jal  eval               # leaf
+        j    sret
+srec:   li   s4, -1000000       # best
+        li   s5, 0              # probe index
+        li   s6, 0              # moves tried
+sprob:  li   t0, 16
+        bge  s5, t0, sdone
+        li   t1, 13             # pos = (j*13 + depth*16 + 5) & 63
+        mul  t0, s5, t1
+        slli t2, s1, 4
+        add  t0, t0, t2
+        addi t0, t0, 5
+        andi t0, t0, 63
+        add  t1, s0, t0
+        lbu  t2, 0(t1)
+        bnez t2, snext          # cell occupied
+        li   t3, 4
+        bge  s6, t3, sdone      # candidate limit
+        addi s6, s6, 1
+        andi t3, s1, 1          # player = (depth & 1) + 1
+        addi t3, t3, 1
+        sb   t3, 0(t1)          # place stone
+        sw   t0, 28(sp)
+        addi a0, s1, -1         # score = -search(d-1, -beta, -alpha)
+        neg  a1, s3
+        neg  a2, s2
+        jal  search
+        neg  v0, v0
+        lw   t0, 28(sp)         # undo move
+        add  t1, s0, t0
+        sb   zero, 0(t1)
+        ble  v0, s4, sna
+        move s4, v0
+sna:    ble  s4, s2, snb
+        move s2, s4
+snb:    blt  s2, s3, snext
+        j    sdone              # alpha >= beta: prune
+snext:  addi s5, s5, 1
+        j    sprob
+sdone:  bnez s6, shave
+        jal  eval               # no legal probe: static eval
+        j    sret
+shave:  move v0, s4
+sret:   lw   ra, 0(sp)
+        lw   s1, 4(sp)
+        lw   s2, 8(sp)
+        lw   s3, 12(sp)
+        lw   s4, 16(sp)
+        lw   s5, 20(sp)
+        lw   s6, 24(sp)
+        addi sp, sp, 32
+        jr   ra
+
+# ---- int eval() -> v0: positional score of the board --------------
+eval:   li   v0, 0
+        li   t0, 0
+        li   t6, 64
+ev1:    add  t1, s0, t0
+        lbu  t2, 0(t1)
+        beqz t2, ev2
+        andi t3, t0, 7          # column weight 1..8
+        addi t3, t3, 1
+        li   t4, 1
+        bne  t2, t4, evm
+        add  v0, v0, t3
+        j    ev2
+evm:    sub  v0, v0, t3
+ev2:    addi t0, t0, 1
+        blt  t0, t6, ev1
+        jr   ra
+)ASM";
+
+const char *kGoGolden = "f4a80387";
+
+} // namespace cesp::workloads

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * "ijpeg" workload (extra, beyond the paper's seven): integer image
+ * compression — separable 8x8 butterfly transforms over image blocks
+ * followed by shift quantization, the computational core of SPEC'95
+ * 132.ijpeg (which the paper's evaluation omitted). Dense independent
+ * integer arithmetic with regular control: the highest-ILP integer
+ * kernel in the suite, useful for width/cluster sweeps.
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kIjpegSource = R"ASM(
+# Block-transform kernel.
+#   image  : 64x64 bytes (gradient + LCG noise), regenerated per pass
+#   blocks : 64 8x8 blocks; rows then columns through a 3-stage
+#            butterfly (Haar/DCT-lite), then shift quantization
+#   passes : 8 images
+#   output : rotate-add checksum of quantized coefficients, in hex
+
+        .data
+img:    .space 4096
+blk:    .space 128              # 8x8 halfwords
+
+        .text
+main:
+        la   s0, img
+        la   s1, blk
+        li   s2, 0              # checksum
+        li   s3, 192837         # LCG
+        li   s7, 0              # image counter
+
+imgl:   # ---- generate one image ----------------------------------
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+        li   t9, 4096
+igen:   mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 16
+        andi t0, t0, 31         # noise
+        andi t1, t6, 63         # smooth gradient term
+        srli t2, t6, 6
+        add  t1, t1, t2
+        andi t1, t1, 31
+        add  t0, t0, t1
+        add  t2, s0, t6
+        sb   t0, 0(t2)
+        addi t6, t6, 1
+        blt  t6, t9, igen
+
+        # ---- transform all 64 blocks -------------------------------
+        li   s4, 0              # block row
+brow:   li   s5, 0              # block col
+bcol:   # base = img + (s4*8)*64 + s5*8
+        slli t9, s4, 9
+        slli t0, s5, 3
+        add  t9, t9, t0
+        add  t9, s0, t9
+
+        li   a1, 0              # row pass
+rowl:   slli t0, a1, 6
+        add  a2, t9, t0         # &row
+        lbu  t0, 0(a2)
+        lbu  t1, 1(a2)
+        lbu  t2, 2(a2)
+        lbu  t3, 3(a2)
+        lbu  t4, 4(a2)
+        lbu  t5, 5(a2)
+        lbu  t6, 6(a2)
+        lbu  t7, 7(a2)
+        # stage 1 butterflies
+        add  t8, t0, t7
+        sub  t7, t0, t7
+        move t0, t8
+        add  t8, t1, t6
+        sub  t6, t1, t6
+        move t1, t8
+        add  t8, t2, t5
+        sub  t5, t2, t5
+        move t2, t8
+        add  t8, t3, t4
+        sub  t4, t3, t4
+        move t3, t8
+        # stage 2 on sums
+        add  t8, t0, t3
+        sub  t3, t0, t3
+        move t0, t8
+        add  t8, t1, t2
+        sub  t2, t1, t2
+        move t1, t8
+        # stage 3
+        add  t8, t0, t1
+        sub  t1, t0, t1
+        move t0, t8
+        # store coefficients to blk + r*16
+        slli a3, a1, 4
+        add  a3, s1, a3
+        sh   t0, 0(a3)
+        sh   t1, 2(a3)
+        sh   t3, 4(a3)
+        sh   t2, 6(a3)
+        sh   t7, 8(a3)
+        sh   t6, 10(a3)
+        sh   t5, 12(a3)
+        sh   t4, 14(a3)
+        addi a1, a1, 1
+        li   t8, 8
+        blt  a1, t8, rowl
+
+        li   a1, 0              # column pass + quantize
+coll:   slli t0, a1, 1
+        add  a2, s1, t0         # &col
+        lh   t0, 0(a2)
+        lh   t1, 16(a2)
+        lh   t2, 32(a2)
+        lh   t3, 48(a2)
+        lh   t4, 64(a2)
+        lh   t5, 80(a2)
+        lh   t6, 96(a2)
+        lh   t7, 112(a2)
+        add  t8, t0, t7
+        sub  t7, t0, t7
+        move t0, t8
+        add  t8, t1, t6
+        sub  t6, t1, t6
+        move t1, t8
+        add  t8, t2, t5
+        sub  t5, t2, t5
+        move t2, t8
+        add  t8, t3, t4
+        sub  t4, t3, t4
+        move t3, t8
+        add  t8, t0, t3
+        sub  t3, t0, t3
+        move t0, t8
+        add  t8, t1, t2
+        sub  t2, t1, t2
+        move t1, t8
+        add  t8, t0, t1
+        sub  t1, t0, t1
+        move t0, t8
+        # quantize (shift per frequency band) and fold into checksum
+        srai t1, t1, 1
+        srai t2, t2, 1
+        srai t3, t3, 2
+        srai t4, t4, 2
+        srai t5, t5, 3
+        srai t6, t6, 3
+        srai t7, t7, 3
+        add  t8, t0, t1
+        add  t8, t8, t2
+        add  t8, t8, t3
+        add  t8, t8, t4
+        add  t8, t8, t5
+        add  t8, t8, t6
+        add  t8, t8, t7
+        slli t0, s2, 1
+        srli t1, s2, 31
+        or   s2, t0, t1
+        add  s2, s2, t8
+        addi a1, a1, 1
+        li   t8, 8
+        blt  a1, t8, coll
+
+        addi s5, s5, 1
+        li   t0, 8
+        blt  s5, t0, bcol
+        addi s4, s4, 1
+        blt  s4, t0, brow
+
+        addi s7, s7, 1
+        li   t0, 8
+        blt  s7, t0, imgl
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kIjpegGolden = "0f97edf9";
+
+} // namespace cesp::workloads

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * "li" workload: cons-cell list processing — allocation, in-place
+ * map, filtered reduction, and list reversal over a linked heap.
+ * SPEC'95 130.li (xlisp) is dominated by exactly this pointer-chasing
+ * pattern; the cdr-chain loads form the longest serial dependence
+ * chains of the suite, which makes li the stress case for in-order
+ * FIFO issue (the paper's largest dependence-based degradation, ~8%,
+ * is on li).
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kLiSource = R"ASM(
+# List-interpreter kernel.
+#   heap  : bump-allocated cons cells (car, cdr), 8 bytes each
+#   list  : 400 integers
+#   rounds: 120 alternating passes
+#             - in-place map      car = (3*car + 1) & 4095
+#             - filtered sum      sum of odd cars
+#             - every 8th round   rebuild the list reversed (allocates)
+#   output: rotate-add checksum of the sums, printed in hex
+
+        .data
+heap:   .space 262144
+
+        .text
+main:
+        la   s0, heap           # bump allocator
+        li   s3, 77777          # LCG
+        li   t4, 1103515245
+        li   t5, 12345
+        li   s1, 0              # list head (0 = nil)
+        li   t6, 0
+        li   t9, 400
+bld:    mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 16
+        andi t0, t0, 4095
+        sw   t0, 0(s0)          # car
+        sw   s1, 4(s0)          # cdr = old head
+        move s1, s0
+        addi s0, s0, 8
+        addi t6, t6, 1
+        blt  t6, t9, bld
+
+        li   s2, 0              # checksum
+        li   s7, 0              # round
+round:  andi t0, s7, 7
+        beqz t0, rrev
+        andi t1, s7, 1
+        beqz t1, rmap
+
+        move t2, s1             # ---- filtered sum ----
+        li   t3, 0
+sum1:   beqz t2, sumd
+        lw   t0, 0(t2)
+        andi t1, t0, 1
+        beqz t1, sum2
+        add  t3, t3, t0
+sum2:   lw   t2, 4(t2)          # chase the cdr chain
+        j    sum1
+sumd:   slli t0, s2, 1
+        srli t1, s2, 31
+        or   s2, t0, t1
+        add  s2, s2, t3
+        j    rnext
+
+rmap:   move t2, s1             # ---- in-place map ----
+map1:   beqz t2, rnext
+        lw   t0, 0(t2)
+        slli t1, t0, 1
+        add  t0, t0, t1
+        addi t0, t0, 1
+        andi t0, t0, 4095
+        sw   t0, 0(t2)
+        lw   t2, 4(t2)
+        j    map1
+
+rrev:   move t2, s1             # ---- reversed copy (allocates) ----
+        li   t3, 0
+rev1:   beqz t2, revd
+        lw   t0, 0(t2)
+        sw   t0, 0(s0)
+        sw   t3, 4(s0)
+        move t3, s0
+        addi s0, s0, 8
+        lw   t2, 4(t2)
+        j    rev1
+revd:   move s1, t3
+
+rnext:  addi s7, s7, 1
+        li   t0, 120
+        blt  s7, t0, round
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kLiGolden = "ff2da144";
+
+} // namespace cesp::workloads

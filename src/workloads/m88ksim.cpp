@@ -1,0 +1,158 @@
+/**
+ * @file
+ * "m88ksim" workload: the main loop of an instruction-set simulator —
+ * fetch a synthetic target instruction word, extract its fields with
+ * shifts and masks, dispatch through a handler jump table, and update
+ * a simulated register file and data memory. SPEC'95 124.m88ksim is
+ * this loop; the field decodes are mutually independent, giving the
+ * high ILP that makes m88ksim the paper's most cluster-sensitive
+ * benchmark (~12% degradation from 2-cycle inter-cluster bypasses).
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kM88ksimSource = R"ASM(
+# ISA-simulator kernel.
+#   target program : 2048 random 26-bit instruction words
+#                    fields: op[25:23] rd[22:18] rs[17:13] rt[12:8]
+#                    imm[7:0]
+#   simulated state: 32-word register file, 1024-word data memory
+#   run            : 30000 simulated instructions, wrapping pc
+#   output         : rotate-add checksum of the final register file
+
+        .data
+prog:   .space 8192             # 2048 words
+sregs:  .space 128              # simulated register file
+dmem:   .space 4096             # simulated data memory
+jtab2:  .word opadd, opsub, opand, opxor, opaddi, opload, opstore, opbr
+
+        .text
+main:
+        # ---- generate the target program --------------------------
+        la   s0, prog
+        li   s3, 31415
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+        li   t9, 2048
+pg:     mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 6
+        slli t1, t6, 2
+        add  t1, s0, t1
+        sw   t0, 0(t1)
+        addi t6, t6, 1
+        blt  t6, t9, pg
+
+        # ---- initialize the simulated register file ---------------
+        la   s4, sregs
+        li   t6, 0
+        li   t9, 32
+        li   t7, 40503
+ri:     mul  t0, t6, t7
+        andi t0, t0, 65535
+        slli t1, t6, 2
+        add  t1, s4, t1
+        sw   t0, 0(t1)
+        addi t6, t6, 1
+        blt  t6, t9, ri
+
+        # ---- simulator main loop ----------------------------------
+        la   s7, prog
+        la   s6, dmem
+        la   s3, jtab2
+        li   s1, 0              # simulated pc
+        li   s2, 0              # simulated instruction count
+siml:   slli t0, s1, 2
+        add  t0, s7, t0
+        lw   t1, 0(t0)          # fetch target word
+        srli t2, t1, 23
+        andi t2, t2, 7          # op
+        srli t3, t1, 18
+        andi t3, t3, 31         # rd
+        srli t4, t1, 13
+        andi t4, t4, 31         # rs
+        srli t5, t1, 8
+        andi t5, t5, 31         # rt
+        andi t6, t1, 255        # imm
+        slli t2, t2, 2
+        add  t2, s3, t2
+        lw   t2, 0(t2)          # handler address
+        slli t7, t4, 2
+        add  t7, s4, t7
+        lw   t7, 0(t7)          # a = reg[rs]
+        slli t8, t5, 2
+        add  t8, s4, t8
+        lw   t8, 0(t8)          # b = reg[rt]
+        jr   t2
+
+opadd:  add  t0, t7, t8
+        j    wb
+opsub:  sub  t0, t7, t8
+        j    wb
+opand:  and  t0, t7, t8
+        j    wb
+opxor:  xor  t0, t7, t8
+        j    wb
+opaddi: add  t0, t7, t6
+        j    wb
+opload: add  t0, t7, t6
+        andi t0, t0, 1023
+        slli t0, t0, 2
+        add  t0, s6, t0
+        lw   t0, 0(t0)
+        j    wb
+opstore:add  t0, t7, t6
+        andi t0, t0, 1023
+        slli t0, t0, 2
+        add  t0, s6, t0
+        sw   t8, 0(t0)
+        j    nextpc
+opbr:   beqz t7, nextpc         # taken when reg[rs] != 0
+        andi t0, t6, 15
+        addi t0, t0, -8         # pc-relative displacement -8..7
+        add  s1, s1, t0
+        j    bumped
+wb:     slli t1, t3, 2
+        add  t1, s4, t1
+        sw   t0, 0(t1)          # reg[rd] = result
+nextpc: addi s1, s1, 1
+bumped: andi s1, s1, 2047
+        addi s2, s2, 1
+        li   t0, 30000
+        blt  s2, t0, siml
+
+        # ---- fold the simulated register file ---------------------
+        li   s2, 0
+        li   t6, 0
+        li   t9, 32
+fold:   slli t0, t6, 2
+        add  t0, s4, t0
+        lw   t1, 0(t0)
+        slli t2, s2, 1
+        srli t3, s2, 31
+        or   s2, t2, t3
+        add  s2, s2, t1
+        addi t6, t6, 1
+        blt  t6, t9, fold
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kM88ksimGolden = "e4925a52";
+
+} // namespace cesp::workloads

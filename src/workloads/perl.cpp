@@ -1,0 +1,149 @@
+/**
+ * @file
+ * "perl" workload: associative-array processing — polynomial string
+ * hashing, chained hash-table lookup with full string compares, and
+ * insertion-or-increment, over a pool of generated words. This is the
+ * hash/string core that dominates SPEC'95 134.perl's interpreter.
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kPerlSource = R"ASM(
+# Associative-array kernel.
+#   pool   : 600 words of 4-11 lowercase chars (length-prefixed,
+#            16-byte stride)
+#   table  : 512 chained buckets; nodes {next, strptr, count}
+#   ops    : 8000 lookup-or-insert operations over LCG-chosen words
+#   output : rotate-add checksum over final counts, printed in hex
+
+        .data
+pool:   .space 12288
+htab:   .space 2048             # 512 chain heads
+nodes:  .space 65536            # bump-allocated chain nodes
+
+        .text
+main:
+        # ---- generate the word pool ------------------------------
+        la   s0, pool
+        li   s3, 24680
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+        li   t9, 600
+sg:     mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 16
+        andi t1, t0, 7
+        addi t1, t1, 4          # length 4..11
+        slli t2, t6, 4
+        add  t2, s0, t2
+        sb   t1, 0(t2)
+        li   t7, 0
+sg2:    mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 18
+        li   t8, 26
+        rem  t0, t0, t8
+        addi t0, t0, 97
+        addi t8, t2, 1
+        add  t8, t8, t7
+        sb   t0, 0(t8)
+        addi t7, t7, 1
+        blt  t7, t1, sg2
+        addi t6, t6, 1
+        blt  t6, t9, sg
+
+        # ---- associative-array operations --------------------------
+        la   s4, htab
+        la   s5, nodes
+        li   s2, 0              # checksum
+        li   s6, 0              # op counter
+oploop: mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 14
+        li   t1, 600
+        rem  t0, t0, t1
+        slli t0, t0, 4
+        add  s7, s0, t0         # chosen word
+        lbu  t1, 0(s7)          # its length
+        li   t2, 0              # h
+        li   t3, 0
+hl:     add  t6, s7, t3
+        lbu  t7, 1(t6)
+        slli t8, t2, 5
+        sub  t2, t8, t2         # h = h * 31 + c
+        add  t2, t2, t7
+        addi t3, t3, 1
+        blt  t3, t1, hl
+        andi t2, t2, 511
+        slli t2, t2, 2
+        add  t2, s4, t2         # bucket
+        lw   t3, 0(t2)
+chain:  beqz t3, insert
+        lw   t6, 4(t3)          # candidate word
+        lbu  t7, 0(s7)
+        lbu  t8, 0(t6)
+        bne  t7, t8, cnext      # lengths differ
+        li   t0, 0
+cmp:    bge  t0, t7, match
+        add  t1, s7, t0
+        lbu  t1, 1(t1)
+        add  t8, t6, t0
+        lbu  t8, 1(t8)
+        bne  t1, t8, cnext
+        addi t0, t0, 1
+        j    cmp
+match:  lw   t0, 8(t3)          # count++
+        addi t0, t0, 1
+        sw   t0, 8(t3)
+        j    opnext
+cnext:  lw   t3, 0(t3)
+        j    chain
+insert: lw   t0, 0(t2)          # node = {head, word, 1}
+        sw   t0, 0(s5)
+        sw   s7, 4(s5)
+        li   t0, 1
+        sw   t0, 8(s5)
+        sw   s5, 0(t2)
+        addi s5, s5, 12
+opnext: addi s6, s6, 1
+        li   t0, 8000
+        blt  s6, t0, oploop
+
+        # ---- fold all chain counts --------------------------------
+        li   t6, 0
+        li   t9, 512
+fold:   slli t0, t6, 2
+        add  t0, s4, t0
+        lw   t1, 0(t0)
+fch:    beqz t1, fnext
+        lw   t2, 8(t1)
+        slli t3, s2, 1
+        srli t7, s2, 31
+        or   s2, t3, t7
+        add  s2, s2, t2
+        lw   t1, 0(t1)
+        j    fch
+fnext:  addi t6, t6, 1
+        blt  t6, t9, fold
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kPerlGolden = "5979616c";
+
+} // namespace cesp::workloads

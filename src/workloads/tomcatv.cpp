@@ -1,0 +1,109 @@
+/**
+ * @file
+ * "tomcatv" workload (extra, beyond the paper's seven): a SPECfp95-
+ * style single-precision Jacobi stencil over a 64x64 grid. The
+ * integer benchmarks barely touch the floating-point register class;
+ * this kernel drives the FP pipeline end to end — FP loads/stores,
+ * adds and multiplies, and the second rename class (Table 3's 120 FP
+ * physical registers).
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kTomcatvSource = R"ASM(
+# FP stencil kernel.
+#   grid  : 64x64 single-precision cells in [1.0, 2.0), built from
+#           bit patterns (0x3f800000 | mantissa bits)
+#   sweep : 6 Jacobi iterations, new = 0.25*(N+S+E+W), in-place
+#           red-black style (even cells then odd cells)
+#   output: rotate-add checksum of the final grid's bit patterns
+
+        .data
+grid:   .space 16384            # 64*64*4
+
+        .text
+main:
+        # ---- build the grid --------------------------------------
+        la   s0, grid
+        li   s3, 424242         # LCG
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+        li   t9, 4096
+        li   t8, 8388607        # 23-bit mantissa mask
+ginit:  mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 9
+        and  t0, t0, t8
+        lui  t1, 0x3f80         # exponent for [1.0, 2.0)
+        or   t0, t0, t1
+        slli t2, t6, 2
+        add  t2, s0, t2
+        sw   t0, 0(t2)
+        addi t6, t6, 1
+        blt  t6, t9, ginit
+
+        # 0.25f in f10
+        lui  t0, 0x3e80
+        fmvi f10, t0
+
+        # ---- Jacobi sweeps ----------------------------------------
+        li   s7, 0              # iteration
+sweep:  li   s1, 1              # row 1..62
+rowl:   li   s2, 1              # col 1..62
+coll:   slli t0, s1, 6          # idx = row*64 + col
+        add  t0, t0, s2
+        slli t0, t0, 2
+        add  t1, s0, t0         # &grid[row][col]
+        flw  f1, -4(t1)         # west
+        flw  f2, 4(t1)          # east
+        flw  f3, -256(t1)       # north
+        flw  f4, 256(t1)        # south
+        fadd f5, f1, f2
+        fadd f6, f3, f4
+        fadd f5, f5, f6
+        fmul f7, f5, f10        # * 0.25
+        fsw  f7, 0(t1)
+        addi s2, s2, 1
+        li   t7, 63
+        blt  s2, t7, coll
+        addi s1, s1, 1
+        blt  s1, t7, rowl
+        addi s7, s7, 1
+        li   t7, 6
+        blt  s7, t7, sweep
+
+        # ---- checksum the final grid bits -------------------------
+        li   s2, 0
+        li   t6, 0
+        li   t9, 4096
+fold:   slli t0, t6, 2
+        add  t0, s0, t0
+        lw   t1, 0(t0)
+        slli t2, s2, 1
+        srli t3, s2, 31
+        or   s2, t2, t3
+        add  s2, s2, t1
+        addi t6, t6, 1
+        blt  t6, t9, fold
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kTomcatvGolden = "94a00185";
+
+} // namespace cesp::workloads

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * "vortex" workload: an object-database kernel — unrolled 64-byte
+ * record copies into an object store, hashed index maintenance, and
+ * lookups that touch every field of the fetched record. SPEC'95
+ * 147.vortex is dominated by this memory-rich, highly parallel
+ * pattern, which is why it posts the highest IPC of the suite.
+ */
+
+#include "workloads/workloads.hpp"
+
+namespace cesp::workloads {
+
+const char *kVortexSource = R"ASM(
+# Object-database kernel.
+#   store  : 1024 records of 16 words
+#   index  : 2048-entry hashed key -> record map
+#   ops    : 9000 operations, 25% inserts (record copy + index
+#            update), 75% lookups (index probe + 16-field fold)
+#   output : checksum over lookups, printed in hex
+
+        .data
+templ:  .space 64
+store:  .space 65536            # 1024 * 64
+index:  .space 8192             # 2048 words
+
+        .text
+main:
+        # ---- template record --------------------------------------
+        la   s0, templ
+        li   s3, 13579
+        li   t4, 1103515245
+        li   t5, 12345
+        li   t6, 0
+        li   t9, 16
+tg:     mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 12
+        slli t1, t6, 2
+        add  t1, s0, t1
+        sw   t0, 0(t1)
+        addi t6, t6, 1
+        blt  t6, t9, tg
+
+        # ---- operation loop ---------------------------------------
+        la   s4, store
+        la   s5, index
+        li   s2, 0              # checksum
+        li   s6, 0              # op count
+        li   s7, 0              # inserted count
+vloop:  mul  s3, s3, t4
+        add  s3, s3, t5
+        srli t0, s3, 10
+        andi t1, t0, 3
+        bnez t1, vlook
+
+        andi t2, s7, 1023       # ---- insert: copy template --------
+        slli t3, t2, 6
+        add  t3, s4, t3
+        lw   t6, 0(s0)
+        lw   t7, 4(s0)
+        lw   t8, 8(s0)
+        lw   t9, 12(s0)
+        sw   t6, 0(t3)
+        sw   t7, 4(t3)
+        sw   t8, 8(t3)
+        sw   t9, 12(t3)
+        lw   t6, 16(s0)
+        lw   t7, 20(s0)
+        lw   t8, 24(s0)
+        lw   t9, 28(s0)
+        sw   t6, 16(t3)
+        sw   t7, 20(t3)
+        sw   t8, 24(t3)
+        sw   t9, 28(t3)
+        lw   t6, 32(s0)
+        lw   t7, 36(s0)
+        lw   t8, 40(s0)
+        lw   t9, 44(s0)
+        sw   t6, 32(t3)
+        sw   t7, 36(t3)
+        sw   t8, 40(t3)
+        sw   t9, 44(t3)
+        lw   t6, 48(s0)
+        lw   t7, 52(s0)
+        lw   t8, 56(s0)
+        lw   t9, 60(s0)
+        sw   t6, 48(t3)
+        sw   t7, 52(t3)
+        sw   t8, 56(t3)
+        sw   t9, 60(t3)
+        andi t6, t2, 15         # mutate one field with the op key
+        slli t6, t6, 2
+        add  t6, t3, t6
+        sw   t0, 0(t6)
+        li   t7, 40503          # index[hash(key)] = recno + 1
+        mul  t6, t0, t7
+        srli t6, t6, 4
+        andi t6, t6, 2047
+        slli t6, t6, 2
+        add  t6, s5, t6
+        addi t7, t2, 1
+        sw   t7, 0(t6)
+        addi s7, s7, 1
+        j    vnext
+
+vlook:  li   t7, 40503          # ---- lookup -----------------------
+        mul  t6, t0, t7
+        srli t6, t6, 4
+        andi t6, t6, 2047
+        slli t6, t6, 2
+        add  t6, s5, t6
+        lw   t2, 0(t6)
+        beqz t2, vmiss
+        addi t2, t2, -1
+        slli t3, t2, 6
+        add  t3, s4, t3
+        lw   t6, 0(t3)          # fold all 16 record fields
+        lw   t7, 4(t3)
+        lw   t8, 8(t3)
+        lw   t9, 12(t3)
+        add  t6, t6, t7
+        add  t8, t8, t9
+        add  t6, t6, t8
+        lw   t7, 16(t3)
+        lw   t8, 20(t3)
+        lw   t9, 24(t3)
+        add  t6, t6, t7
+        add  t8, t8, t9
+        add  t6, t6, t8
+        lw   t7, 28(t3)
+        lw   t8, 32(t3)
+        lw   t9, 36(t3)
+        add  t6, t6, t7
+        add  t8, t8, t9
+        add  t6, t6, t8
+        lw   t7, 40(t3)
+        lw   t8, 44(t3)
+        lw   t9, 48(t3)
+        add  t6, t6, t7
+        add  t8, t8, t9
+        add  t6, t6, t8
+        lw   t7, 52(t3)
+        lw   t8, 56(t3)
+        lw   t9, 60(t3)
+        add  t6, t6, t7
+        add  t8, t8, t9
+        add  t6, t6, t8
+        add  s2, s2, t6
+        j    vnext
+vmiss:  andi t0, t0, 255
+        add  s2, s2, t0
+vnext:  addi s6, s6, 1
+        li   t0, 9000
+        blt  s6, t0, vloop
+
+        # ---- print checksum as 8 hex digits ----------------------
+        li   s1, 8
+        li   t2, 10
+phex:   srli t0, s2, 28
+        slli s2, s2, 4
+        blt  t0, t2, pdig
+        addi a0, t0, 87
+        j    pput
+pdig:   addi a0, t0, 48
+pput:   putc a0
+        addi s1, s1, -1
+        bnez s1, phex
+        halt
+)ASM";
+
+const char *kVortexGolden = "6996257f";
+
+} // namespace cesp::workloads

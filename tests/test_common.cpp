@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the common utilities: strprintf, RNG, statistics
+ * accumulators, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace cesp;
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Strprintf, HandlesLongStrings)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(4);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(6);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Sample, TracksMinMaxMeanCount)
+{
+    Sample s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Sample, SingleValue)
+{
+    Sample s;
+    s.add(-7.5);
+    EXPECT_DOUBLE_EQ(s.min(), -7.5);
+    EXPECT_DOUBLE_EQ(s.max(), -7.5);
+    EXPECT_DOUBLE_EQ(s.mean(), -7.5);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(4, 1.0); // [0,1) [1,2) [2,3) [3,inf)
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(100.0); // clamps to last bucket
+    h.add(-1.0);  // clamps to first bucket
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+}
+
+TEST(Histogram, MeanOfMidpoints)
+{
+    Histogram h(10, 2.0);
+    h.add(1.0); // bucket 0, midpoint 1.0
+    h.add(5.0); // bucket 2, midpoint 5.0
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Means, GeometricAndArithmetic)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(geometricMean({}), 0.0);
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t("title");
+    t.header({"name", "value"});
+    t.row({"alpha", cell(1)});
+    t.row({"b", cell(22.5, 1)});
+    std::string s = t.render();
+    EXPECT_NE(s.find("title"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22.5"), std::string::npos);
+    // Header separator rules appear (at least three dashes rows).
+    EXPECT_GE(std::count(s.begin(), s.end(), '\n'), 6);
+}
+
+TEST(Table, CellFormatters)
+{
+    EXPECT_EQ(cell(3.14159, 2), "3.14");
+    EXPECT_EQ(cell(static_cast<int64_t>(-5)), "-5");
+    EXPECT_EQ(cell(static_cast<uint64_t>(7)), "7");
+    EXPECT_EQ(cell(0), "0");
+}
+
+TEST(Table, EmptyTableStillRenders)
+{
+    Table t;
+    std::string s = t.render();
+    EXPECT_FALSE(s.empty());
+}

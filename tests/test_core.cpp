@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the core API layer: presets, the Machine facade, the
+ * trace cache, and the speedup-study report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "core/report.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace cesp;
+using namespace cesp::core;
+
+TEST(Presets, AllValidate)
+{
+    baseline8Way().validate();
+    dependence8x8().validate();
+    clusteredDependence2x4().validate();
+    clusteredWindows2x4().validate();
+    clusteredExecDriven2x4().validate();
+    clusteredRandom2x4().validate();
+    baseline16Way().validate();
+    clusteredDependence4x4().validate();
+    for (int iw : {2, 4, 8, 16}) {
+        scaledBaseline(iw).validate();
+        scaledDependence(iw).validate();
+    }
+}
+
+TEST(Presets, Figure17OrderAndUniqueness)
+{
+    auto configs = figure17Configs();
+    ASSERT_EQ(configs.size(), 5u);
+    EXPECT_EQ(configs[0].name, "1-cluster.1window");
+    EXPECT_EQ(configs[1].name, "2-cluster.fifos.dispatch_steer");
+    EXPECT_EQ(configs[2].name, "2-cluster.windows.dispatch_steer");
+    EXPECT_EQ(configs[3].name, "2-cluster.1window.exec_steer");
+    EXPECT_EQ(configs[4].name, "2-cluster.windows.random_steer");
+    std::set<std::string> names;
+    for (const auto &c : configs)
+        names.insert(c.name);
+    EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Presets, Table3ParametersInBaseline)
+{
+    uarch::SimConfig c = baseline8Way();
+    EXPECT_EQ(c.fetch_width, 8);
+    EXPECT_EQ(c.issue_width, 8);
+    EXPECT_EQ(c.retire_width, 16);
+    EXPECT_EQ(c.window_size, 64);
+    EXPECT_EQ(c.max_inflight, 128);
+    EXPECT_EQ(c.fus_per_cluster, 8);
+    EXPECT_EQ(c.ls_ports, 4);
+    EXPECT_EQ(c.fu_latency, 1);
+    EXPECT_EQ(c.phys_int_regs, 120);
+    EXPECT_EQ(c.phys_fp_regs, 120);
+    EXPECT_EQ(c.dcache.size_bytes, 32u * 1024u);
+    EXPECT_EQ(c.dcache.associativity, 2);
+    EXPECT_EQ(c.dcache.line_bytes, 32u);
+    EXPECT_EQ(c.dcache.miss_latency, 6);
+    EXPECT_EQ(c.bpred.table_entries, 4096);
+    EXPECT_EQ(c.bpred.history_bits, 12);
+}
+
+TEST(Presets, PaperFifoShape)
+{
+    uarch::SimConfig d = dependence8x8();
+    EXPECT_EQ(d.fifos_per_cluster, 8);
+    EXPECT_EQ(d.fifo_depth, 8);
+    EXPECT_EQ(d.totalFifoEntries(), 64); // same capacity as window
+
+    uarch::SimConfig c = clusteredDependence2x4();
+    EXPECT_EQ(c.num_clusters, 2);
+    EXPECT_EQ(c.fifos_per_cluster, 4);
+    EXPECT_EQ(c.fus_per_cluster, 4);
+    EXPECT_EQ(c.inter_cluster_extra, 1); // 2-cycle total
+}
+
+TEST(Presets, ScaledKeepsProportions)
+{
+    uarch::SimConfig c = scaledBaseline(4);
+    EXPECT_EQ(c.issue_width, 4);
+    EXPECT_EQ(c.window_size, 32);
+    EXPECT_EQ(c.fus_per_cluster, 4);
+    uarch::SimConfig d = scaledDependence(2);
+    EXPECT_EQ(d.fifos_per_cluster, 2);
+    EXPECT_EQ(d.style, uarch::IssueBufferStyle::Fifos);
+}
+
+TEST(Machine, RunProgramProducesStats)
+{
+    Machine m(baseline8Way());
+    auto s = m.runProgram("main: li t0, 1\n li t1, 2\n halt\n");
+    EXPECT_EQ(s.committed, 3u);
+    EXPECT_GT(s.cycles, 0u);
+}
+
+TEST(Machine, RunTraceUsesConfigName)
+{
+    trace::TraceBuffer buf;
+    trace::TraceOp t;
+    t.op = isa::Opcode::ADD;
+    t.cls = isa::OpClass::IntAlu;
+    t.dst = 1;
+    buf.append(t);
+    Machine m(dependence8x8());
+    auto s = m.runTrace(buf);
+    EXPECT_EQ(s.config_name, "1-cluster.fifos.dispatch_steer");
+}
+
+TEST(Machine, TraceCacheReturnsSameBuffer)
+{
+    trace::TraceBuffer &a = cachedWorkloadTrace("go");
+    trace::TraceBuffer &b = cachedWorkloadTrace("go");
+    EXPECT_EQ(&a, &b);
+    EXPECT_GT(a.size(), 0u);
+    clearTraceCache();
+    trace::TraceBuffer &c = cachedWorkloadTrace("go");
+    EXPECT_GT(c.size(), 0u);
+}
+
+TEST(Machine, ReusableAcrossRuns)
+{
+    Machine m(baseline8Way());
+    auto s1 = m.runProgram("main: li t0, 1\n halt\n");
+    auto s2 = m.runProgram("main: li t0, 1\n halt\n");
+    EXPECT_EQ(s1.cycles, s2.cycles);
+}
+
+TEST(Report, SpeedupStudyShape)
+{
+    // Shallow check here (full numeric assertions live in the
+    // integration suite): structure and clock ratio.
+    SpeedupStudy s = runSpeedupStudy(vlsi::Process::um0_18);
+    EXPECT_EQ(s.tech, vlsi::Process::um0_18);
+    EXPECT_NEAR(s.clock_ratio, 1.2526, 0.001);
+    ASSERT_EQ(s.entries.size(), 7u);
+    for (const auto &e : s.entries) {
+        EXPECT_GT(e.ipc_window, 0.0);
+        EXPECT_GT(e.ipc_dep, 0.0);
+        EXPECT_NEAR(e.speedup, e.ipcRatio() * e.clock_ratio, 1e-9);
+    }
+    EXPECT_GT(s.mean_speedup, 0.9);
+}
+
+TEST(Report, ClockRatioVariesByTechnology)
+{
+    SpeedupStudy s8 = runSpeedupStudy(vlsi::Process::um0_8);
+    SpeedupStudy s18 = runSpeedupStudy(vlsi::Process::um0_18);
+    EXPECT_GT(s8.clock_ratio, 1.0);
+    EXPECT_GT(s18.clock_ratio, 1.0);
+}
+
+TEST(Presets, IpcMonotoneInScaledWidth)
+{
+    // On parallel code, wider scaled machines never lose IPC.
+    trace::SyntheticParams sp;
+    sp.mean_dep_distance = 10.0;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 20000);
+    double prev = 0.0;
+    for (int iw : {2, 4, 8}) {
+        uarch::SimConfig cfg = scaledBaseline(iw);
+        cfg.bpred.perfect = true;
+        double ipc = uarch::simulate(cfg, buf).ipc();
+        EXPECT_GE(ipc, prev - 1e-9) << iw;
+        prev = ipc;
+    }
+}
+
+TEST(Presets, ScaledDependenceTracksScaledBaseline)
+{
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 20000);
+    for (int iw : {2, 4, 8}) {
+        double base =
+            uarch::simulate(scaledBaseline(iw), buf).ipc();
+        double dep =
+            uarch::simulate(scaledDependence(iw), buf).ipc();
+        EXPECT_GT(dep, 0.7 * base) << iw;
+        EXPECT_LE(dep, base + 1e-9) << iw;
+    }
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the Lagrange interpolation helpers used by the
+ * calibrated delay models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vlsi/interpolate.hpp"
+
+using namespace cesp::vlsi;
+
+TEST(Quad1D, ExactAtAnchors)
+{
+    Quad1D q({2.0, 4.0, 8.0}, {10.0, 20.0, 50.0});
+    EXPECT_NEAR(q(2.0), 10.0, 1e-9);
+    EXPECT_NEAR(q(4.0), 20.0, 1e-9);
+    EXPECT_NEAR(q(8.0), 50.0, 1e-9);
+}
+
+TEST(Quad1D, ReproducesLinearData)
+{
+    // y = 3 + 2x has zero quadratic coefficient.
+    Quad1D q({1.0, 2.0, 5.0}, {5.0, 7.0, 13.0});
+    EXPECT_NEAR(q.coeffC(), 0.0, 1e-9);
+    EXPECT_NEAR(q.coeffB(), 2.0, 1e-9);
+    EXPECT_NEAR(q.coeffA(), 3.0, 1e-9);
+    EXPECT_NEAR(q(10.0), 23.0, 1e-9);
+}
+
+TEST(Quad1D, ReproducesQuadraticData)
+{
+    // y = x^2.
+    Quad1D q({1.0, 3.0, 7.0}, {1.0, 9.0, 49.0});
+    EXPECT_NEAR(q(5.0), 25.0, 1e-9);
+    EXPECT_NEAR(q.coeffC(), 1.0, 1e-9);
+}
+
+TEST(Quad1D, InterpolatesBetweenAnchors)
+{
+    Quad1D q({0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}); // y = x^2
+    EXPECT_NEAR(q(1.5), 2.25, 1e-9);
+}
+
+TEST(Quad1DDeathTest, DuplicateAnchorsPanic)
+{
+    EXPECT_DEATH(Quad1D({1.0, 1.0, 2.0}, {0.0, 0.0, 0.0}),
+                 "distinct");
+}
+
+TEST(Quad2D, ExactAtAllNineAnchors)
+{
+    std::array<double, 3> xs = {2, 4, 8};
+    std::array<double, 3> ys = {16, 32, 64};
+    std::array<std::array<double, 3>, 3> zs = {{
+        {10, 20, 30},
+        {15, 28, 45},
+        {25, 40, 70},
+    }};
+    Quad2D q(xs, ys, zs);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(q(xs[static_cast<size_t>(i)],
+                          ys[static_cast<size_t>(j)]),
+                        zs[static_cast<size_t>(i)]
+                          [static_cast<size_t>(j)], 1e-9)
+                << i << "," << j;
+}
+
+TEST(Quad2D, SeparableFunctionReproduced)
+{
+    // f(x, y) = x * y is a tensor-product polynomial of degree (1,1).
+    std::array<double, 3> xs = {1, 2, 3};
+    std::array<double, 3> ys = {1, 2, 4};
+    std::array<std::array<double, 3>, 3> zs;
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            zs[i][j] = xs[i] * ys[j];
+    Quad2D q(xs, ys, zs);
+    EXPECT_NEAR(q(1.5, 3.0), 4.5, 1e-9);
+    EXPECT_NEAR(q(2.5, 1.5), 3.75, 1e-9);
+}
+
+TEST(Quad2D, MonotoneDataStaysOrderedAtMidpoints)
+{
+    // The wakeup-grid shape: increasing in both variables.
+    std::array<double, 3> xs = {2, 4, 8};
+    std::array<double, 3> ys = {16, 32, 64};
+    std::array<std::array<double, 3>, 3> zs = {{
+        {128, 150, 178.9},
+        {160, 204, 239.7},
+        {235, 270, 350},
+    }};
+    Quad2D q(xs, ys, zs);
+    double prev = 0.0;
+    for (double y = 16; y <= 64; y += 4) {
+        double v = q(4.0, y);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the register file and cache access-time models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vlsi/area.hpp"
+#include "vlsi/cache_delay.hpp"
+#include "vlsi/clock.hpp"
+#include "vlsi/regfile_delay.hpp"
+
+using namespace cesp::vlsi;
+
+// ---- register file ---------------------------------------------------------
+
+TEST(RegfileDelay, MonotoneInPortsAndRegisters)
+{
+    RegfileDelayModel m(Process::um0_18);
+    EXPECT_GT(m.totalPs(120, 16, 8), m.totalPs(120, 8, 4));
+    EXPECT_GT(m.totalPs(120, 8, 4), m.totalPs(120, 4, 2));
+    EXPECT_GT(m.totalPs(240, 8, 4), m.totalPs(120, 8, 4));
+    EXPECT_GT(m.totalPs(120, 8, 4), m.totalPs(80, 8, 4));
+}
+
+TEST(RegfileDelay, ClusteringSpeedsEachCopy)
+{
+    // Section 5.4: multiple register file copies have fewer ports
+    // each, "making the access time of the register file faster".
+    for (Process p : allProcesses()) {
+        RegfileDelayModel m(p);
+        double mono = m.machinePs(8);  // 16R + 8W ports
+        double cluster = m.machinePs(4); // 8R + 4W ports
+        EXPECT_LT(cluster, mono * 0.9) << technology(p).name;
+    }
+}
+
+TEST(RegfileDelay, ComponentsPositiveAndSumToTotal)
+{
+    RegfileDelayModel m(Process::um0_18);
+    RegfileDelay d = m.delay(120, 16, 8);
+    EXPECT_GT(d.decode, 0.0);
+    EXPECT_GT(d.wordline, 0.0);
+    EXPECT_GT(d.bitline, 0.0);
+    EXPECT_GT(d.senseamp, 0.0);
+    EXPECT_NEAR(d.total(),
+                d.decode + d.wordline + d.bitline + d.senseamp, 1e-9);
+}
+
+TEST(RegfileDelay, ComparableToOtherRamStructuresAtDesignPoint)
+{
+    // An 8-way machine's 24-port file is a big RAM: slower than the
+    // rename map table, same order as the window logic. It can be
+    // pipelined, so it does not bound the clock (Section 2.1).
+    RegfileDelayModel rf(Process::um0_18);
+    double t = rf.machinePs(8);
+    EXPECT_GT(t, 400.0);
+    EXPECT_LT(t, 800.0);
+}
+
+TEST(RegfileDelay, ScalesWithTechnology)
+{
+    RegfileDelayModel m18(Process::um0_18), m8(Process::um0_8);
+    double r = m8.machinePs(8) / m18.machinePs(8);
+    EXPECT_GT(r, 2.5);
+    EXPECT_LT(r, 4.5); // wire terms scale slower than logic
+}
+
+TEST(RegfileDelayDeathTest, RejectsBadParameters)
+{
+    RegfileDelayModel m(Process::um0_18);
+    EXPECT_EXIT(m.delay(4, 2, 1), ::testing::ExitedWithCode(1),
+                "registers");
+    EXPECT_EXIT(m.delay(120, 0, 1), ::testing::ExitedWithCode(1),
+                "port");
+    EXPECT_EXIT(m.delay(120, 60, 10), ::testing::ExitedWithCode(1),
+                "port");
+}
+
+// ---- cache ------------------------------------------------------------------
+
+TEST(CacheDelay, Table3CacheFitsTheMachineCycle)
+{
+    // 32KB/2-way/32B at 0.18um must fit under the 8-way machine's
+    // clock, consistent with Table 3's 1-cycle hit latency.
+    CacheDelayModel cm(Process::um0_18);
+    ClockEstimator est(Process::um0_18);
+    ClockConfig cfg;
+    cfg.issue_width = 8;
+    cfg.window_size = 64;
+    EXPECT_LT(cm.totalPs(32 * 1024, 2, 32),
+              est.delays(cfg).criticalPs());
+}
+
+TEST(CacheDelay, MonotoneInSize)
+{
+    CacheDelayModel cm(Process::um0_18);
+    double prev = 0.0;
+    for (uint32_t kb : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        double t = cm.totalPs(kb * 1024, 2, 32);
+        EXPECT_GT(t, prev) << kb;
+        prev = t;
+    }
+}
+
+TEST(CacheDelay, AssociativityCostsTagAndMux)
+{
+    CacheDelayModel cm(Process::um0_18);
+    double dm = cm.totalPs(32 * 1024, 1, 32);
+    double a2 = cm.totalPs(32 * 1024, 2, 32);
+    double a4 = cm.totalPs(32 * 1024, 4, 32);
+    EXPECT_LT(dm, a2);
+    EXPECT_LT(a2, a4);
+}
+
+TEST(CacheDelay, ComponentsSumToTotal)
+{
+    CacheDelayModel cm(Process::um0_18);
+    CacheDelay d = cm.delay(32 * 1024, 2, 32);
+    EXPECT_NEAR(d.total(),
+                d.decode + d.wordline + d.bitline + d.senseamp +
+                    d.tag_compare,
+                1e-9);
+    EXPECT_GT(d.tag_compare, 0.0);
+}
+
+TEST(CacheDelay, ScalesWithTechnology)
+{
+    CacheDelayModel c18(Process::um0_18), c8(Process::um0_8);
+    EXPECT_GT(c8.totalPs(32 * 1024, 2, 32),
+              2.0 * c18.totalPs(32 * 1024, 2, 32));
+}
+
+TEST(FullReport, CoversEveryModeledStructure)
+{
+    ClockEstimator est(Process::um0_18);
+    ClockConfig cfg;
+    auto report = est.fullReport(cfg);
+    ASSERT_EQ(report.size(), 6u);
+    // Atomic (non-pipelinable) entries: wakeup, select, bypass.
+    int atomic = 0;
+    for (const auto &e : report) {
+        EXPECT_GT(e.ps, 0.0) << e.name;
+        atomic += !e.pipelinable;
+    }
+    EXPECT_EQ(atomic, 3);
+    // Window wakeup named for the window org, reservation table for
+    // the FIFO org.
+    EXPECT_EQ(report[1].name, "window wakeup");
+    ClockConfig dep;
+    dep.org = IssueOrganization::DependenceFifos;
+    auto dep_report = est.fullReport(dep);
+    EXPECT_EQ(dep_report[1].name, "reservation table");
+}
+
+TEST(FullReport, MatchesStageDelays)
+{
+    ClockEstimator est(Process::um0_18);
+    ClockConfig cfg;
+    cfg.issue_width = 4;
+    cfg.window_size = 32;
+    StageDelays d = est.delays(cfg);
+    auto report = est.fullReport(cfg);
+    EXPECT_DOUBLE_EQ(report[0].ps, d.rename);
+    EXPECT_DOUBLE_EQ(report[1].ps + report[2].ps, d.window());
+    EXPECT_DOUBLE_EQ(report[3].ps, d.bypass);
+}
+
+TEST(CacheDelayDeathTest, RejectsBadGeometry)
+{
+    CacheDelayModel cm(Process::um0_18);
+    EXPECT_EXIT(cm.delay(3000, 2, 32), ::testing::ExitedWithCode(1),
+                "powers");
+    EXPECT_EXIT(cm.delay(32 * 1024, 0, 32),
+                ::testing::ExitedWithCode(1), "associativity");
+    EXPECT_EXIT(cm.delay(64, 4, 32), ::testing::ExitedWithCode(1),
+                "size");
+}
+
+// ---- transistor-count estimates ----------------------------------------------
+
+TEST(AreaModel, DependenceLogicSmallerAndGapWidens)
+{
+    using cesp::vlsi::AreaModel;
+    uint64_t w4 = AreaModel::windowIssueLogic(32, 4);
+    uint64_t d4 = AreaModel::dependenceIssueLogic(4, 8, 80, 4);
+    uint64_t w8 = AreaModel::windowIssueLogic(64, 8);
+    uint64_t d8 = AreaModel::dependenceIssueLogic(8, 8, 128, 8);
+    EXPECT_LT(d4, w4);
+    EXPECT_LT(d8, w8);
+    double r4 = static_cast<double>(w4) / static_cast<double>(d4);
+    double r8 = static_cast<double>(w8) / static_cast<double>(d8);
+    EXPECT_GT(r8, r4); // the CAM's quadratic comparator growth
+}
+
+TEST(AreaModel, CamGrowsWithWindowAndWidth)
+{
+    using cesp::vlsi::AreaModel;
+    EXPECT_GT(AreaModel::wakeupCam(64, 8), AreaModel::wakeupCam(32, 8));
+    EXPECT_GT(AreaModel::wakeupCam(64, 8), AreaModel::wakeupCam(64, 4));
+    EXPECT_GT(AreaModel::selectTree(128), AreaModel::selectTree(32));
+    EXPECT_GT(AreaModel::reservationTable(128, 8),
+              AreaModel::reservationTable(80, 4));
+}
+
+TEST(AreaModelDeathTest, RejectsBadShapes)
+{
+    using cesp::vlsi::AreaModel;
+    EXPECT_EXIT(AreaModel::wakeupCam(0, 4),
+                ::testing::ExitedWithCode(1), "wakeup");
+    EXPECT_EXIT(AreaModel::selectTree(1),
+                ::testing::ExitedWithCode(1), "select");
+    EXPECT_EXIT(AreaModel::fifoBuffers(0, 8),
+                ::testing::ExitedWithCode(1), "FIFO");
+}

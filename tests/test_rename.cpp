@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the rename state: map-table initialization,
+ * allocation/release, free-list exhaustion, and physical-register
+ * readiness bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/rename.hpp"
+
+using namespace cesp;
+using namespace cesp::uarch;
+
+namespace {
+
+SimConfig
+cfg()
+{
+    return SimConfig{}; // 120 int / 120 fp physical registers
+}
+
+} // namespace
+
+TEST(Rename, InitialIdentityMapping)
+{
+    RenameState rs(cfg());
+    for (int i = 0; i < isa::kNumIntRegs; ++i)
+        EXPECT_EQ(rs.mapOf(i), i);
+    for (int i = 0; i < isa::kNumFpRegs; ++i)
+        EXPECT_EQ(rs.mapOf(isa::kFpRegBase + i), 120 + i);
+    EXPECT_EQ(rs.numPregs(), 240);
+}
+
+TEST(Rename, InitialFreeCounts)
+{
+    RenameState rs(cfg());
+    EXPECT_EQ(rs.freeIntRegs(), 120u - 32u);
+    EXPECT_EQ(rs.freeFpRegs(), 120u - 32u);
+}
+
+TEST(Rename, InitialRegistersAreReadyEverywhere)
+{
+    RenameState rs(cfg());
+    const PhysReg &pr = rs.preg(rs.mapOf(5));
+    EXPECT_FALSE(pr.outstanding(0));
+    for (int c = 0; c < kMaxClusters; ++c)
+        EXPECT_TRUE(pr.readyFor(c, 0));
+}
+
+TEST(Rename, AllocateUpdatesMapAndReturnsOld)
+{
+    RenameState rs(cfg());
+    int old_mapping = rs.mapOf(7);
+    auto r = rs.rename(7, 100);
+    EXPECT_EQ(r.old_preg, old_mapping);
+    EXPECT_NE(r.preg, old_mapping);
+    EXPECT_EQ(rs.mapOf(7), r.preg);
+    EXPECT_EQ(rs.freeIntRegs(), 87u);
+
+    const PhysReg &pr = rs.preg(r.preg);
+    EXPECT_TRUE(pr.outstanding(1000000));
+    EXPECT_EQ(pr.producer_seq, 100u);
+    EXPECT_FALSE(pr.readyFor(0, 1000000));
+}
+
+TEST(Rename, FpClassIsSeparate)
+{
+    RenameState rs(cfg());
+    auto r = rs.rename(isa::kFpRegBase + 2, 1);
+    EXPECT_GE(r.preg, 120);
+    EXPECT_EQ(rs.freeIntRegs(), 88u);
+    EXPECT_EQ(rs.freeFpRegs(), 87u);
+}
+
+TEST(Rename, ReleaseRecycles)
+{
+    RenameState rs(cfg());
+    auto r = rs.rename(3, 1);
+    rs.release(r.old_preg);
+    EXPECT_EQ(rs.freeIntRegs(), 88u); // one taken, one returned
+}
+
+TEST(Rename, ExhaustionAndRecoveryCycle)
+{
+    RenameState rs(cfg());
+    std::vector<int> olds;
+    // 88 renames exhaust the integer pool.
+    for (int i = 0; i < 88; ++i) {
+        ASSERT_TRUE(rs.hasFreeFor(1));
+        olds.push_back(rs.rename(1 + (i % 30), i).old_preg);
+    }
+    EXPECT_FALSE(rs.hasFreeFor(1));
+    EXPECT_TRUE(rs.hasFreeFor(isa::kFpRegBase + 1)); // fp unaffected
+    // Releasing old mappings (commit) frees capacity again.
+    for (int old : olds)
+        rs.release(old);
+    EXPECT_TRUE(rs.hasFreeFor(1));
+    EXPECT_EQ(rs.freeIntRegs(), 88u);
+}
+
+TEST(Rename, SequentialRenamesChainOldMappings)
+{
+    RenameState rs(cfg());
+    auto r1 = rs.rename(9, 1);
+    auto r2 = rs.rename(9, 2);
+    EXPECT_EQ(r2.old_preg, r1.preg);
+    EXPECT_EQ(rs.mapOf(9), r2.preg);
+}
+
+TEST(Rename, ReadinessTimestampsPerCluster)
+{
+    RenameState rs(cfg());
+    auto r = rs.rename(4, 7);
+    PhysReg &pr = rs.preg(r.preg);
+    pr.ready_cycle[0] = 10;
+    pr.ready_cycle[1] = 11;
+    pr.computed_cycle = 10;
+    EXPECT_TRUE(pr.readyFor(0, 10));
+    EXPECT_FALSE(pr.readyFor(1, 10));
+    EXPECT_TRUE(pr.readyFor(1, 11));
+    EXPECT_FALSE(pr.outstanding(10));
+    EXPECT_TRUE(pr.outstanding(9));
+}
+
+TEST(RenameDeathTest, InvalidUsePanics)
+{
+    RenameState rs(cfg());
+    EXPECT_DEATH(rs.rename(0, 1), "destination");
+    EXPECT_DEATH(rs.rename(64, 1), "destination");
+    EXPECT_DEATH(rs.release(-1), "physical");
+    EXPECT_DEATH(rs.release(240), "physical");
+}

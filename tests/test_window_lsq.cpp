@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the issue window and the store queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/lsq.hpp"
+#include "uarch/window.hpp"
+
+using namespace cesp::uarch;
+
+TEST(IssueWindow, InsertRemoveOrdering)
+{
+    IssueWindow w(4);
+    EXPECT_TRUE(w.empty());
+    w.insert(10);
+    w.insert(11);
+    w.insert(15);
+    EXPECT_EQ(w.size(), 3);
+    ASSERT_EQ(w.entries().size(), 3u);
+    EXPECT_EQ(w.entries()[0], 10u);
+    EXPECT_EQ(w.entries()[2], 15u);
+
+    w.remove(11); // middle removal keeps order
+    EXPECT_EQ(w.entries()[0], 10u);
+    EXPECT_EQ(w.entries()[1], 15u);
+}
+
+TEST(IssueWindow, FullAndCapacity)
+{
+    IssueWindow w(2);
+    w.insert(1);
+    EXPECT_FALSE(w.full());
+    w.insert(2);
+    EXPECT_TRUE(w.full());
+    w.remove(1);
+    EXPECT_FALSE(w.full());
+    EXPECT_EQ(w.capacity(), 2);
+}
+
+TEST(IssueWindow, ClearEmpties)
+{
+    IssueWindow w(4);
+    w.insert(1);
+    w.clear();
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(IssueWindowSlot, FreedSlotsAreReusedOutOfAgeOrder)
+{
+    IssueWindow w(4, WindowOrder::SlotPriority);
+    w.insert(10); // slot 0
+    w.insert(11); // slot 1
+    w.insert(12); // slot 2
+    w.remove(11);
+    w.insert(20); // reuses slot 1: priority ahead of 12
+    ASSERT_EQ(w.entries().size(), 3u);
+    EXPECT_EQ(w.entries()[0], 10u);
+    EXPECT_EQ(w.entries()[1], 20u);
+    EXPECT_EQ(w.entries()[2], 12u);
+}
+
+TEST(IssueWindowSlot, CapacityAndClear)
+{
+    IssueWindow w(2, WindowOrder::SlotPriority);
+    w.insert(1);
+    w.insert(2);
+    EXPECT_TRUE(w.full());
+    w.remove(1);
+    EXPECT_FALSE(w.full());
+    w.clear();
+    EXPECT_TRUE(w.empty());
+    EXPECT_TRUE(w.entries().empty());
+}
+
+TEST(IssueWindowSlot, AgeOrderWhenNoHoles)
+{
+    IssueWindow w(4, WindowOrder::SlotPriority);
+    w.insert(5);
+    w.insert(6);
+    w.insert(7);
+    EXPECT_EQ(w.entries()[0], 5u);
+    EXPECT_EQ(w.entries()[2], 7u);
+}
+
+TEST(IssueWindowSlotDeathTest, MisusePanics)
+{
+    IssueWindow w(2, WindowOrder::SlotPriority);
+    w.insert(5);
+    EXPECT_DEATH(w.remove(99), "absent");
+    w.insert(6);
+    EXPECT_DEATH(w.insert(7), "full");
+}
+
+TEST(IssueWindowDeathTest, MisusePanics)
+{
+    IssueWindow w(2);
+    w.insert(5);
+    EXPECT_DEATH(w.insert(4), "out-of-order");
+    EXPECT_DEATH(w.remove(99), "absent");
+    w.insert(6);
+    EXPECT_DEATH(w.insert(7), "full");
+}
+
+TEST(StoreQueue, OlderStoreGating)
+{
+    StoreQueue q;
+    q.dispatch(5, 0x100);
+    q.dispatch(9, 0x200);
+    // A load younger than both is gated.
+    EXPECT_TRUE(q.olderStoreUnissued(10));
+    // A load older than both stores is not gated.
+    EXPECT_FALSE(q.olderStoreUnissued(3));
+    // A load between them is gated only by the older store.
+    EXPECT_TRUE(q.olderStoreUnissued(7));
+    q.markIssued(5);
+    EXPECT_FALSE(q.olderStoreUnissued(7));
+    EXPECT_TRUE(q.olderStoreUnissued(10));
+    q.markIssued(9);
+    EXPECT_FALSE(q.olderStoreUnissued(10));
+}
+
+TEST(StoreQueue, ForwardingFindsYoungestOlderMatch)
+{
+    StoreQueue q;
+    q.dispatch(1, 0x100);
+    q.dispatch(4, 0x100);
+    q.dispatch(6, 0x300);
+    q.markIssued(1);
+    q.markIssued(4);
+    q.markIssued(6);
+    auto f = q.forwardFrom(10, 0x100);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f, 4u); // youngest older matching store
+    // A load older than store 4 forwards from store 1.
+    auto f2 = q.forwardFrom(3, 0x100);
+    ASSERT_TRUE(f2.has_value());
+    EXPECT_EQ(*f2, 1u);
+    // No match for a different word.
+    EXPECT_FALSE(q.forwardFrom(10, 0x200).has_value());
+}
+
+TEST(StoreQueue, ForwardingIsWordGranular)
+{
+    StoreQueue q;
+    q.dispatch(1, 0x102); // byte within word 0x100
+    q.markIssued(1);
+    EXPECT_TRUE(q.forwardFrom(5, 0x100).has_value());
+    EXPECT_FALSE(q.forwardFrom(5, 0x104).has_value());
+}
+
+TEST(StoreQueue, UnissuedStoresDoNotForward)
+{
+    StoreQueue q;
+    q.dispatch(1, 0x100);
+    EXPECT_FALSE(q.forwardFrom(5, 0x100).has_value());
+}
+
+TEST(StoreQueue, CommitRemovesInOrder)
+{
+    StoreQueue q;
+    q.dispatch(1, 0x100);
+    q.dispatch(2, 0x200);
+    q.markIssued(1);
+    q.markIssued(2);
+    EXPECT_EQ(q.size(), 2u);
+    q.commit(1);
+    q.commit(2);
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.forwardFrom(10, 0x100).has_value());
+}
+
+TEST(StoreQueue, ClearResets)
+{
+    StoreQueue q;
+    q.dispatch(1, 0x100);
+    q.clear();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.olderStoreUnissued(100));
+}
+
+TEST(StoreQueueDeathTest, ProtocolViolationsPanic)
+{
+    StoreQueue q;
+    q.dispatch(5, 0x100);
+    EXPECT_DEATH(q.dispatch(4, 0x200), "out-of-order");
+    EXPECT_DEATH(q.markIssued(99), "unknown");
+    EXPECT_DEATH(q.commit(5), "unissued");
+}

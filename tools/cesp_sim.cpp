@@ -1,0 +1,311 @@
+/**
+ * @file
+ * cesp-sim: command-line driver for the library. Pick a machine
+ * preset (optionally overriding its parameters), point it at a
+ * built-in workload, an assembly file, or a synthetic trace, and get
+ * the timing statistics — plus the delay-model clock estimate so a
+ * run reports complexity-effectiveness (BIPS), not just IPC.
+ *
+ *   cesp-sim --list
+ *   cesp-sim --preset dep8x8 --workload compress
+ *   cesp-sim --preset baseline --all-workloads --tech 0.18
+ *   cesp-sim --preset clustered2x4 --asm my_kernel.s
+ *   cesp-sim --preset baseline --synthetic 1000000 --window 32
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "trace/synthetic.hpp"
+#include "vlsi/clock.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+
+namespace {
+
+struct PresetEntry
+{
+    const char *name;
+    const char *description;
+    uarch::SimConfig (*make)();
+};
+
+const PresetEntry kPresets[] = {
+    {"baseline", "8-way, 64-entry central window (Table 3)",
+     core::baseline8Way},
+    {"dep8x8", "dependence-based, 8 FIFOs x 8 (Figure 13)",
+     core::dependence8x8},
+    {"clustered2x4", "2x4-way clustered dependence-based (Figure 15)",
+     core::clusteredDependence2x4},
+    {"windows2x4", "2x 32-entry windows, dispatch steering",
+     core::clusteredWindows2x4},
+    {"execsteer", "central window, execution-driven steering",
+     core::clusteredExecDriven2x4},
+    {"random2x4", "2x 32-entry windows, random steering",
+     core::clusteredRandom2x4},
+    {"baseline16", "16-way, 128-entry central window",
+     core::baseline16Way},
+    {"dep4x4", "16-way, four 4-way dependence-based clusters",
+     core::clusteredDependence4x4},
+};
+
+[[noreturn]] void
+usage()
+{
+    std::puts(
+        "usage: cesp-sim [options]\n"
+        "  --list                 list presets and workloads\n"
+        "  --preset NAME          machine preset (default baseline)\n"
+        "  --workload NAME        run a built-in benchmark\n"
+        "  --all-workloads        run every built-in benchmark\n"
+        "  --asm FILE             assemble and run FILE\n"
+        "  --synthetic N          run an N-instruction synthetic "
+        "trace\n"
+        "  --tech F               clock estimate feature size "
+        "(0.8|0.35|0.18)\n"
+        "  --window N             override window size\n"
+        "  --fifos N --depth N    override FIFO shape\n"
+        "  --issue N              override issue width\n"
+        "  --stages N             wakeup+select pipeline stages\n"
+        "  --perfect-bpred        oracle conditional prediction\n"
+        "  --seed N               random-steering seed\n"
+        "  --verbose              print occupancy histograms");
+    std::exit(2);
+}
+
+uarch::SimConfig
+findPreset(const std::string &name)
+{
+    for (const auto &p : kPresets)
+        if (name == p.name)
+            return p.make();
+    fatal("unknown preset '%s' (try --list)", name.c_str());
+}
+
+vlsi::Process
+findTech(const std::string &f)
+{
+    if (f == "0.8")
+        return vlsi::Process::um0_8;
+    if (f == "0.35")
+        return vlsi::Process::um0_35;
+    if (f == "0.18")
+        return vlsi::Process::um0_18;
+    fatal("unknown technology '%s' (0.8, 0.35, or 0.18)", f.c_str());
+}
+
+void
+printStats(const uarch::SimStats &s, const std::string &label,
+           double clock_mhz, bool verbose)
+{
+    Table t("Results: " + label);
+    t.header({"metric", "value"});
+    t.row({"cycles", cell(s.cycles)});
+    t.row({"instructions", cell(s.committed)});
+    t.row({"IPC", cell(s.ipc(), 3)});
+    if (clock_mhz > 0.0) {
+        t.row({"clock (MHz)", cell(clock_mhz, 0)});
+        t.row({"BIPS", cell(s.ipc() * clock_mhz / 1000.0, 2)});
+    }
+    t.row({"branch mispredict %",
+           cell(100.0 * s.mispredictRate())});
+    t.row({"dcache miss %", cell(100.0 * s.dcacheMissRate())});
+    t.row({"store forwards", cell(s.store_forwards)});
+    t.row({"inter-cluster bypass %", cell(s.interClusterPct())});
+    t.row({"dispatch stalls (buffer)",
+           cell(s.dispatch_stall_buffer)});
+    t.row({"dispatch stalls (regs)", cell(s.dispatch_stall_regs)});
+    t.row({"dispatch stalls (rob)", cell(s.dispatch_stall_rob)});
+    t.print();
+
+    if (verbose) {
+        Table h("Issued per cycle");
+        h.header({"width", "cycles", "%"});
+        for (size_t i = 0; i < s.issue_sizes.buckets(); ++i) {
+            if (!s.issue_sizes.bucket(i))
+                continue;
+            h.row({cell(static_cast<int>(i)),
+                   cell(s.issue_sizes.bucket(i)),
+                   cell(100.0 * s.issue_sizes.fraction(i))});
+        }
+        h.print();
+        std::printf("mean issue-buffer occupancy: %.1f entries\n",
+                    s.buffer_occupancy.mean());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string preset = "baseline";
+    std::string workload;
+    std::string asm_file;
+    std::string tech;
+    uint64_t synthetic = 0;
+    bool all = false;
+    bool verbose = false;
+
+    struct Override
+    {
+        const char *flag;
+        int value;
+        bool set = false;
+    };
+    Override window{"--window", 0}, fifos{"--fifos", 0},
+        depth{"--depth", 0}, issue{"--issue", 0}, stages{"--stages", 0},
+        seed{"--seed", 0};
+    bool perfect = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--list") {
+            std::puts("presets:");
+            for (const auto &p : kPresets)
+                std::printf("  %-14s %s\n", p.name, p.description);
+            std::puts("workloads:");
+            for (const auto &w : workloads::allWorkloads())
+                std::printf("  %-14s %s\n", w.name.c_str(),
+                            w.description.c_str());
+            std::puts("extra workloads (beyond the paper's seven):");
+            for (const auto &w : workloads::extraWorkloads())
+                std::printf("  %-14s %s\n", w.name.c_str(),
+                            w.description.c_str());
+            return 0;
+        } else if (a == "--preset") {
+            preset = next();
+        } else if (a == "--workload") {
+            workload = next();
+        } else if (a == "--asm") {
+            asm_file = next();
+        } else if (a == "--tech") {
+            tech = next();
+        } else if (a == "--synthetic") {
+            synthetic = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (a == "--all-workloads") {
+            all = true;
+        } else if (a == "--perfect-bpred") {
+            perfect = true;
+        } else if (a == "--verbose") {
+            verbose = true;
+        } else {
+            bool matched = false;
+            for (Override *o :
+                 {&window, &fifos, &depth, &issue, &stages, &seed}) {
+                if (a == o->flag) {
+                    o->value = std::atoi(next().c_str());
+                    o->set = true;
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                usage();
+        }
+    }
+
+    uarch::SimConfig cfg = findPreset(preset);
+    if (window.set)
+        cfg.window_size = window.value;
+    if (fifos.set)
+        cfg.fifos_per_cluster = fifos.value;
+    if (depth.set)
+        cfg.fifo_depth = depth.value;
+    if (issue.set) {
+        cfg.issue_width = issue.value;
+        cfg.fetch_width = std::min(cfg.fetch_width, issue.value);
+        cfg.rename_width = cfg.fetch_width;
+    }
+    if (stages.set)
+        cfg.wakeup_select_stages = stages.value;
+    if (seed.set)
+        cfg.random_seed = static_cast<uint64_t>(seed.value);
+    cfg.bpred.perfect = perfect;
+    cfg.validate();
+
+    double clock_mhz = 0.0;
+    if (!tech.empty()) {
+        vlsi::ClockEstimator est(findTech(tech));
+        vlsi::ClockConfig cc;
+        cc.org = cfg.style == uarch::IssueBufferStyle::Fifos
+            ? vlsi::IssueOrganization::DependenceFifos
+            : vlsi::IssueOrganization::CentralWindow;
+        cc.issue_width = cfg.issue_width;
+        cc.window_size = cfg.window_size;
+        cc.num_clusters = cfg.num_clusters;
+        cc.fifos_per_cluster = cfg.fifos_per_cluster;
+        cc.phys_regs = cfg.phys_int_regs;
+        vlsi::StageDelays d = est.delays(cc);
+        clock_mhz = d.clockMhz();
+        std::printf("clock estimate (%sum): %.1f ps (%s-limited), "
+                    "%.0f MHz\n", tech.c_str(), d.criticalPs(),
+                    d.criticalStage().c_str(), clock_mhz);
+        if (verbose) {
+            Table ct("Structure delays");
+            ct.header({"structure", "delay (ps)", "pipelinable"});
+            for (const auto &sd : est.fullReport(
+                     cc, cfg.dcache.size_bytes,
+                     cfg.dcache.associativity, cfg.dcache.line_bytes))
+                ct.row({sd.name, cell(sd.ps),
+                        sd.pipelinable ? "yes" : "no (atomic)"});
+            ct.print();
+        }
+    }
+
+    core::Machine machine(cfg);
+    std::printf("machine: %s\n", cfg.name.c_str());
+
+    if (all) {
+        Table t("All workloads on " + cfg.name);
+        t.header({"benchmark", "IPC", "mispredict %", "dcache miss %",
+                  "x-cluster %"});
+        for (const auto &w : workloads::allWorkloads()) {
+            auto s = machine.runWorkload(w.name);
+            t.row({w.name, cell(s.ipc(), 3),
+                   cell(100.0 * s.mispredictRate()),
+                   cell(100.0 * s.dcacheMissRate()),
+                   cell(s.interClusterPct())});
+        }
+        t.print();
+        return 0;
+    }
+
+    if (!workload.empty()) {
+        auto s = machine.runWorkload(workload);
+        printStats(s, workload, clock_mhz, verbose);
+        return 0;
+    }
+    if (!asm_file.empty()) {
+        std::ifstream in(asm_file);
+        if (!in)
+            fatal("cannot open '%s'", asm_file.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        auto s = machine.runProgram(ss.str(), 100000000ULL);
+        printStats(s, asm_file, clock_mhz, verbose);
+        return 0;
+    }
+    if (synthetic > 0) {
+        trace::SyntheticParams sp;
+        sp.seed = cfg.random_seed;
+        trace::TraceBuffer buf =
+            trace::generateSynthetic(sp, synthetic);
+        auto s = machine.runTrace(buf);
+        printStats(s, "synthetic", clock_mhz, verbose);
+        return 0;
+    }
+    usage();
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * cesp-trace: inspect dynamic traces. Capture a workload or assembly
+ * file to a binary .trc file, or analyze an existing one — mix,
+ * dependence statistics, dataflow ILP limits, and an optional
+ * disassembled listing of the first instructions.
+ *
+ *   cesp-trace --capture compress --out compress.trc
+ *   cesp-trace --analyze compress.trc
+ *   cesp-trace --capture-asm kernel.s --out k.trc --list 20
+ *   cesp-trace --analyze k.trc --window 64 --issue 8
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "func/emulator.hpp"
+#include "isa/disasm.hpp"
+#include "trace/analysis.hpp"
+#include "trace/tracefile.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::puts(
+        "usage: cesp-trace [options]\n"
+        "  --capture NAME      capture a built-in workload's trace\n"
+        "  --capture-asm FILE  assemble and capture FILE's trace\n"
+        "  --out FILE          where to write the .trc (default\n"
+        "                      trace.trc)\n"
+        "  --analyze FILE      analyze an existing .trc\n"
+        "  --window N          finite-window ILP limit (default 64)\n"
+        "  --issue N           finite-width ILP limit (default 8)\n"
+        "  --list N            print the first N instructions");
+    std::exit(2);
+}
+
+void
+analyze(const trace::TraceBuffer &buf, int window, int issue,
+        int list)
+{
+    trace::TraceMix mix = trace::computeMix(buf);
+    Table m("Instruction mix");
+    m.header({"class", "count", "%"});
+    m.row({"loads", cell(mix.loads), cell(100.0 * mix.frac(mix.loads))});
+    m.row({"stores", cell(mix.stores),
+           cell(100.0 * mix.frac(mix.stores))});
+    m.row({"cond branches", cell(mix.cond_branches),
+           cell(100.0 * mix.frac(mix.cond_branches))});
+    m.row({"uncond control", cell(mix.uncond),
+           cell(100.0 * mix.frac(mix.uncond))});
+    m.row({"int alu", cell(mix.int_alu),
+           cell(100.0 * mix.frac(mix.int_alu))});
+    m.row({"other", cell(mix.other),
+           cell(100.0 * mix.frac(mix.other))});
+    m.print();
+
+    trace::DependenceStats dep = trace::analyzeDependences(buf);
+    auto unlimited = trace::dataflowSchedule(buf);
+    trace::ScheduleLimits lim;
+    lim.window = window;
+    lim.issue_width = issue;
+    auto limited = trace::dataflowSchedule(buf, lim);
+
+    Table a("Dependence / ILP analysis");
+    a.header({"quantity", "value"});
+    a.row({"instructions", cell(dep.instructions)});
+    a.row({"mean dependence distance", cell(dep.distance.mean(), 2)});
+    a.row({"adjacent-producer %",
+           cell(100.0 * dep.adjacent_frac)});
+    a.row({"independent %", cell(100.0 * dep.independent_frac)});
+    a.row({"critical path (ops)", cell(dep.critical_path)});
+    a.row({"dataflow IPC (unbounded)", cell(unlimited.ipc, 2)});
+    a.row({strprintf("dataflow IPC (win=%d, iw=%d)", window, issue),
+           cell(limited.ipc, 2)});
+    a.print();
+
+    for (int i = 0; i < list && i < static_cast<int>(buf.size());
+         ++i) {
+        const trace::TraceOp &op = buf[static_cast<size_t>(i)];
+        std::printf("%6d  %08x  %-8s%s%s\n", i, op.pc,
+                    isa::opInfo(op.op).mnemonic,
+                    op.isCondBranch()
+                        ? (op.taken ? "  taken" : "  not-taken") : "",
+                    op.isLoad() || op.isStore()
+                        ? strprintf("  @0x%08x", op.mem_addr).c_str()
+                        : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string capture, capture_asm, out = "trace.trc", analyze_file;
+    int window = 64, issue = 8, list = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--capture")
+            capture = next();
+        else if (a == "--capture-asm")
+            capture_asm = next();
+        else if (a == "--out")
+            out = next();
+        else if (a == "--analyze")
+            analyze_file = next();
+        else if (a == "--window")
+            window = std::atoi(next().c_str());
+        else if (a == "--issue")
+            issue = std::atoi(next().c_str());
+        else if (a == "--list")
+            list = std::atoi(next().c_str());
+        else
+            usage();
+    }
+
+    if (!capture.empty() || !capture_asm.empty()) {
+        trace::TraceBuffer buf;
+        if (!capture.empty()) {
+            buf = workloads::traceOf(workloads::workload(capture));
+        } else {
+            std::ifstream in(capture_asm);
+            if (!in)
+                fatal("cannot open '%s'", capture_asm.c_str());
+            std::stringstream ss;
+            ss << in.rdbuf();
+            func::runProgram(ss.str(), 100000000ULL, &buf);
+        }
+        if (!trace::saveTrace(buf, out))
+            fatal("cannot write '%s'", out.c_str());
+        std::printf("wrote %zu instructions to %s\n", buf.size(),
+                    out.c_str());
+        analyze(buf, window, issue, list);
+        return 0;
+    }
+
+    if (!analyze_file.empty()) {
+        trace::TraceBuffer buf;
+        if (!trace::loadTrace(analyze_file, buf))
+            fatal("cannot read '%s'", analyze_file.c_str());
+        std::printf("%s: %zu instructions\n", analyze_file.c_str(),
+                    buf.size());
+        analyze(buf, window, issue, list);
+        return 0;
+    }
+    usage();
+}
