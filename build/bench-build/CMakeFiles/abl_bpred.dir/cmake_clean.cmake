@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bpred"
+  "../bench/abl_bpred.pdb"
+  "CMakeFiles/abl_bpred.dir/abl_bpred.cpp.o"
+  "CMakeFiles/abl_bpred.dir/abl_bpred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_brainiacs"
+  "../bench/abl_brainiacs.pdb"
+  "CMakeFiles/abl_brainiacs.dir/abl_brainiacs.cpp.o"
+  "CMakeFiles/abl_brainiacs.dir/abl_brainiacs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_brainiacs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bypass_paths"
+  "../bench/abl_bypass_paths.pdb"
+  "CMakeFiles/abl_bypass_paths.dir/abl_bypass_paths.cpp.o"
+  "CMakeFiles/abl_bypass_paths.dir/abl_bypass_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bypass_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cluster_scaling"
+  "../bench/abl_cluster_scaling.pdb"
+  "CMakeFiles/abl_cluster_scaling.dir/abl_cluster_scaling.cpp.o"
+  "CMakeFiles/abl_cluster_scaling.dir/abl_cluster_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fifo_geometry"
+  "../bench/abl_fifo_geometry.pdb"
+  "CMakeFiles/abl_fifo_geometry.dir/abl_fifo_geometry.cpp.o"
+  "CMakeFiles/abl_fifo_geometry.dir/abl_fifo_geometry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fifo_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

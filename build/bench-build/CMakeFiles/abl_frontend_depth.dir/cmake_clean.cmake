@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_frontend_depth"
+  "../bench/abl_frontend_depth.pdb"
+  "CMakeFiles/abl_frontend_depth.dir/abl_frontend_depth.cpp.o"
+  "CMakeFiles/abl_frontend_depth.dir/abl_frontend_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_frontend_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

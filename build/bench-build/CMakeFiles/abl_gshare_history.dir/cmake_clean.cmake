@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_gshare_history"
+  "../bench/abl_gshare_history.pdb"
+  "CMakeFiles/abl_gshare_history.dir/abl_gshare_history.cpp.o"
+  "CMakeFiles/abl_gshare_history.dir/abl_gshare_history.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gshare_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

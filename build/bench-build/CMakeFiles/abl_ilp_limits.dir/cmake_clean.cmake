@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ilp_limits"
+  "../bench/abl_ilp_limits.pdb"
+  "CMakeFiles/abl_ilp_limits.dir/abl_ilp_limits.cpp.o"
+  "CMakeFiles/abl_ilp_limits.dir/abl_ilp_limits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ilp_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

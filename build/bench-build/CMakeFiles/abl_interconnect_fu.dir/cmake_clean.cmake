@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_interconnect_fu"
+  "../bench/abl_interconnect_fu.pdb"
+  "CMakeFiles/abl_interconnect_fu.dir/abl_interconnect_fu.cpp.o"
+  "CMakeFiles/abl_interconnect_fu.dir/abl_interconnect_fu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interconnect_fu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

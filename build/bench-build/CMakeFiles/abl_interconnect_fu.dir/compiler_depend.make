@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_interconnect_fu.
+# This may be replaced when dependencies are built.

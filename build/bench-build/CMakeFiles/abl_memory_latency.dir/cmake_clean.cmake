@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_memory_latency"
+  "../bench/abl_memory_latency.pdb"
+  "CMakeFiles/abl_memory_latency.dir/abl_memory_latency.cpp.o"
+  "CMakeFiles/abl_memory_latency.dir/abl_memory_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memory_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

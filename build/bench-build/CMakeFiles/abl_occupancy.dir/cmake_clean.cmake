@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_occupancy"
+  "../bench/abl_occupancy.pdb"
+  "CMakeFiles/abl_occupancy.dir/abl_occupancy.cpp.o"
+  "CMakeFiles/abl_occupancy.dir/abl_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

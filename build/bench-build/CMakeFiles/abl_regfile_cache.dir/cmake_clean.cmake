@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_regfile_cache"
+  "../bench/abl_regfile_cache.pdb"
+  "CMakeFiles/abl_regfile_cache.dir/abl_regfile_cache.cpp.o"
+  "CMakeFiles/abl_regfile_cache.dir/abl_regfile_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_regfile_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_rename_cam"
+  "../bench/abl_rename_cam.pdb"
+  "CMakeFiles/abl_rename_cam.dir/abl_rename_cam.cpp.o"
+  "CMakeFiles/abl_rename_cam.dir/abl_rename_cam.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rename_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

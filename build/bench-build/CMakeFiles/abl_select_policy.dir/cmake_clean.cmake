@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_select_policy"
+  "../bench/abl_select_policy.pdb"
+  "CMakeFiles/abl_select_policy.dir/abl_select_policy.cpp.o"
+  "CMakeFiles/abl_select_policy.dir/abl_select_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_select_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_transistors"
+  "../bench/abl_transistors.pdb"
+  "CMakeFiles/abl_transistors.dir/abl_transistors.cpp.o"
+  "CMakeFiles/abl_transistors.dir/abl_transistors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transistors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_transistors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_window_compaction"
+  "../bench/abl_window_compaction.pdb"
+  "CMakeFiles/abl_window_compaction.dir/abl_window_compaction.cpp.o"
+  "CMakeFiles/abl_window_compaction.dir/abl_window_compaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_window_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_window_frontier"
+  "../bench/abl_window_frontier.pdb"
+  "CMakeFiles/abl_window_frontier.dir/abl_window_frontier.cpp.o"
+  "CMakeFiles/abl_window_frontier.dir/abl_window_frontier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_window_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_atomic_wakeup"
+  "../bench/fig10_atomic_wakeup.pdb"
+  "CMakeFiles/fig10_atomic_wakeup.dir/fig10_atomic_wakeup.cpp.o"
+  "CMakeFiles/fig10_atomic_wakeup.dir/fig10_atomic_wakeup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_atomic_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

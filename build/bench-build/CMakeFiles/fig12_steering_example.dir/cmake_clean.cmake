@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_steering_example"
+  "../bench/fig12_steering_example.pdb"
+  "CMakeFiles/fig12_steering_example.dir/fig12_steering_example.cpp.o"
+  "CMakeFiles/fig12_steering_example.dir/fig12_steering_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_steering_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

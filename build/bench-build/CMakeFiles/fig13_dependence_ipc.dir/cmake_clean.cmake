@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_dependence_ipc"
+  "../bench/fig13_dependence_ipc.pdb"
+  "CMakeFiles/fig13_dependence_ipc.dir/fig13_dependence_ipc.cpp.o"
+  "CMakeFiles/fig13_dependence_ipc.dir/fig13_dependence_ipc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dependence_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_clustered_ipc"
+  "../bench/fig15_clustered_ipc.pdb"
+  "CMakeFiles/fig15_clustered_ipc.dir/fig15_clustered_ipc.cpp.o"
+  "CMakeFiles/fig15_clustered_ipc.dir/fig15_clustered_ipc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_clustered_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

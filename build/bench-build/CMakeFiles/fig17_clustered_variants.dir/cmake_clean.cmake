@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_clustered_variants"
+  "../bench/fig17_clustered_variants.pdb"
+  "CMakeFiles/fig17_clustered_variants.dir/fig17_clustered_variants.cpp.o"
+  "CMakeFiles/fig17_clustered_variants.dir/fig17_clustered_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_clustered_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_rename_delay"
+  "../bench/fig3_rename_delay.pdb"
+  "CMakeFiles/fig3_rename_delay.dir/fig3_rename_delay.cpp.o"
+  "CMakeFiles/fig3_rename_delay.dir/fig3_rename_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rename_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_wakeup_window"
+  "../bench/fig5_wakeup_window.pdb"
+  "CMakeFiles/fig5_wakeup_window.dir/fig5_wakeup_window.cpp.o"
+  "CMakeFiles/fig5_wakeup_window.dir/fig5_wakeup_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wakeup_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

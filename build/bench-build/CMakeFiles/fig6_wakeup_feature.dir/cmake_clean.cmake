@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_wakeup_feature"
+  "../bench/fig6_wakeup_feature.pdb"
+  "CMakeFiles/fig6_wakeup_feature.dir/fig6_wakeup_feature.cpp.o"
+  "CMakeFiles/fig6_wakeup_feature.dir/fig6_wakeup_feature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wakeup_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

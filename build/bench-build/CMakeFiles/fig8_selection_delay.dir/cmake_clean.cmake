@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_selection_delay"
+  "../bench/fig8_selection_delay.pdb"
+  "CMakeFiles/fig8_selection_delay.dir/fig8_selection_delay.cpp.o"
+  "CMakeFiles/fig8_selection_delay.dir/fig8_selection_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_selection_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_simspeed"
+  "../bench/micro_simspeed.pdb"
+  "CMakeFiles/micro_simspeed.dir/micro_simspeed.cpp.o"
+  "CMakeFiles/micro_simspeed.dir/micro_simspeed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

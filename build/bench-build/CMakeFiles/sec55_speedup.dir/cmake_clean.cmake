@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec55_speedup"
+  "../bench/sec55_speedup.pdb"
+  "CMakeFiles/sec55_speedup.dir/sec55_speedup.cpp.o"
+  "CMakeFiles/sec55_speedup.dir/sec55_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

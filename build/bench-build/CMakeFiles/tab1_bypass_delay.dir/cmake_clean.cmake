@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_bypass_delay"
+  "../bench/tab1_bypass_delay.pdb"
+  "CMakeFiles/tab1_bypass_delay.dir/tab1_bypass_delay.cpp.o"
+  "CMakeFiles/tab1_bypass_delay.dir/tab1_bypass_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_bypass_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

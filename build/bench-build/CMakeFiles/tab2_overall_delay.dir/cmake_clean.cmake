@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_overall_delay"
+  "../bench/tab2_overall_delay.pdb"
+  "CMakeFiles/tab2_overall_delay.dir/tab2_overall_delay.cpp.o"
+  "CMakeFiles/tab2_overall_delay.dir/tab2_overall_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_overall_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

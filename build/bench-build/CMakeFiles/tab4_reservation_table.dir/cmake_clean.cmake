@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_reservation_table"
+  "../bench/tab4_reservation_table.pdb"
+  "CMakeFiles/tab4_reservation_table.dir/tab4_reservation_table.cpp.o"
+  "CMakeFiles/tab4_reservation_table.dir/tab4_reservation_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_reservation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

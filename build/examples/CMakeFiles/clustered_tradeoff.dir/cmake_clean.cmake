@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_tradeoff.dir/clustered_tradeoff.cpp.o"
+  "CMakeFiles/clustered_tradeoff.dir/clustered_tradeoff.cpp.o.d"
+  "clustered_tradeoff"
+  "clustered_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

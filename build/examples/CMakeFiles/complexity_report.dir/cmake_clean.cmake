@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_report.dir/complexity_report.cpp.o"
+  "CMakeFiles/complexity_report.dir/complexity_report.cpp.o.d"
+  "complexity_report"
+  "complexity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

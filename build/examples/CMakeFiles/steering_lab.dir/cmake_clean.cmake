@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_lab.dir/steering_lab.cpp.o"
+  "CMakeFiles/steering_lab.dir/steering_lab.cpp.o.d"
+  "steering_lab"
+  "steering_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cpp" "src/CMakeFiles/cesp.dir/asm/assembler.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/asm/assembler.cpp.o.d"
+  "/root/repo/src/bpred/bpred.cpp" "src/CMakeFiles/cesp.dir/bpred/bpred.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/bpred/bpred.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/cesp.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/cesp.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/cesp.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/cesp.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/CMakeFiles/cesp.dir/core/presets.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/core/presets.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/cesp.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/core/report.cpp.o.d"
+  "/root/repo/src/func/emulator.cpp" "src/CMakeFiles/cesp.dir/func/emulator.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/func/emulator.cpp.o.d"
+  "/root/repo/src/func/memory.cpp" "src/CMakeFiles/cesp.dir/func/memory.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/func/memory.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/CMakeFiles/cesp.dir/isa/decode.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/isa/decode.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/cesp.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/cesp.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/cesp.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/cesp.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/cesp.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/cesp.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/tracefile.cpp" "src/CMakeFiles/cesp.dir/trace/tracefile.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/trace/tracefile.cpp.o.d"
+  "/root/repo/src/uarch/config.cpp" "src/CMakeFiles/cesp.dir/uarch/config.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/config.cpp.o.d"
+  "/root/repo/src/uarch/fifos.cpp" "src/CMakeFiles/cesp.dir/uarch/fifos.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/fifos.cpp.o.d"
+  "/root/repo/src/uarch/lsq.cpp" "src/CMakeFiles/cesp.dir/uarch/lsq.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/lsq.cpp.o.d"
+  "/root/repo/src/uarch/pipeline.cpp" "src/CMakeFiles/cesp.dir/uarch/pipeline.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/pipeline.cpp.o.d"
+  "/root/repo/src/uarch/rename.cpp" "src/CMakeFiles/cesp.dir/uarch/rename.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/rename.cpp.o.d"
+  "/root/repo/src/uarch/steering.cpp" "src/CMakeFiles/cesp.dir/uarch/steering.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/steering.cpp.o.d"
+  "/root/repo/src/uarch/window.cpp" "src/CMakeFiles/cesp.dir/uarch/window.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/uarch/window.cpp.o.d"
+  "/root/repo/src/vlsi/area.cpp" "src/CMakeFiles/cesp.dir/vlsi/area.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/area.cpp.o.d"
+  "/root/repo/src/vlsi/bypass_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/bypass_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/bypass_delay.cpp.o.d"
+  "/root/repo/src/vlsi/cache_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/cache_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/cache_delay.cpp.o.d"
+  "/root/repo/src/vlsi/clock.cpp" "src/CMakeFiles/cesp.dir/vlsi/clock.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/clock.cpp.o.d"
+  "/root/repo/src/vlsi/interpolate.cpp" "src/CMakeFiles/cesp.dir/vlsi/interpolate.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/interpolate.cpp.o.d"
+  "/root/repo/src/vlsi/regfile_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/regfile_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/regfile_delay.cpp.o.d"
+  "/root/repo/src/vlsi/rename_cam.cpp" "src/CMakeFiles/cesp.dir/vlsi/rename_cam.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/rename_cam.cpp.o.d"
+  "/root/repo/src/vlsi/rename_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/rename_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/rename_delay.cpp.o.d"
+  "/root/repo/src/vlsi/reservation_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/reservation_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/reservation_delay.cpp.o.d"
+  "/root/repo/src/vlsi/select_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/select_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/select_delay.cpp.o.d"
+  "/root/repo/src/vlsi/technology.cpp" "src/CMakeFiles/cesp.dir/vlsi/technology.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/technology.cpp.o.d"
+  "/root/repo/src/vlsi/wakeup_delay.cpp" "src/CMakeFiles/cesp.dir/vlsi/wakeup_delay.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/vlsi/wakeup_delay.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/CMakeFiles/cesp.dir/workloads/compress.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/compress.cpp.o.d"
+  "/root/repo/src/workloads/gcc.cpp" "src/CMakeFiles/cesp.dir/workloads/gcc.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/gcc.cpp.o.d"
+  "/root/repo/src/workloads/go.cpp" "src/CMakeFiles/cesp.dir/workloads/go.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/go.cpp.o.d"
+  "/root/repo/src/workloads/ijpeg.cpp" "src/CMakeFiles/cesp.dir/workloads/ijpeg.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/li.cpp" "src/CMakeFiles/cesp.dir/workloads/li.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/li.cpp.o.d"
+  "/root/repo/src/workloads/m88ksim.cpp" "src/CMakeFiles/cesp.dir/workloads/m88ksim.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/m88ksim.cpp.o.d"
+  "/root/repo/src/workloads/perl.cpp" "src/CMakeFiles/cesp.dir/workloads/perl.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/perl.cpp.o.d"
+  "/root/repo/src/workloads/tomcatv.cpp" "src/CMakeFiles/cesp.dir/workloads/tomcatv.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/vortex.cpp" "src/CMakeFiles/cesp.dir/workloads/vortex.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/vortex.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/cesp.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/cesp.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_models.dir/test_delay_models.cpp.o"
+  "CMakeFiles/test_delay_models.dir/test_delay_models.cpp.o.d"
+  "test_delay_models"
+  "test_delay_models.pdb"
+  "test_delay_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

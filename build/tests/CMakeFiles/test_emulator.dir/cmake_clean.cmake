@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emulator.dir/test_emulator.cpp.o"
+  "CMakeFiles/test_emulator.dir/test_emulator.cpp.o.d"
+  "test_emulator"
+  "test_emulator.pdb"
+  "test_emulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifos.dir/test_fifos.cpp.o"
+  "CMakeFiles/test_fifos.dir/test_fifos.cpp.o.d"
+  "test_fifos"
+  "test_fifos.pdb"
+  "test_fifos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

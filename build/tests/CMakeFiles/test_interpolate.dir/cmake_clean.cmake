@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpolate.dir/test_interpolate.cpp.o"
+  "CMakeFiles/test_interpolate.dir/test_interpolate.cpp.o.d"
+  "test_interpolate"
+  "test_interpolate.pdb"
+  "test_interpolate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpolate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

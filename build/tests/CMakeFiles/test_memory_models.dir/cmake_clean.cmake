@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_models.dir/test_memory_models.cpp.o"
+  "CMakeFiles/test_memory_models.dir/test_memory_models.cpp.o.d"
+  "test_memory_models"
+  "test_memory_models.pdb"
+  "test_memory_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_prop.dir/test_pipeline_prop.cpp.o"
+  "CMakeFiles/test_pipeline_prop.dir/test_pipeline_prop.cpp.o.d"
+  "test_pipeline_prop"
+  "test_pipeline_prop.pdb"
+  "test_pipeline_prop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pipeline_prop.
+# This may be replaced when dependencies are built.

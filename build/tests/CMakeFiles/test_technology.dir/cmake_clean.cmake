@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_technology.dir/test_technology.cpp.o"
+  "CMakeFiles/test_technology.dir/test_technology.cpp.o.d"
+  "test_technology"
+  "test_technology.pdb"
+  "test_technology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

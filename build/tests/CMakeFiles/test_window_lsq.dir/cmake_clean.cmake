@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_lsq.dir/test_window_lsq.cpp.o"
+  "CMakeFiles/test_window_lsq.dir/test_window_lsq.cpp.o.d"
+  "test_window_lsq"
+  "test_window_lsq.pdb"
+  "test_window_lsq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

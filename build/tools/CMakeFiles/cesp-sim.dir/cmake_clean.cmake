@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesp-sim.dir/cesp_sim.cpp.o"
+  "CMakeFiles/cesp-sim.dir/cesp_sim.cpp.o.d"
+  "cesp-sim"
+  "cesp-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesp-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

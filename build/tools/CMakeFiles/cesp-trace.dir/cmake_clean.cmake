@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesp-trace.dir/cesp_trace.cpp.o"
+  "CMakeFiles/cesp-trace.dir/cesp_trace.cpp.o.d"
+  "cesp-trace"
+  "cesp-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesp-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cesp_sim_list "/root/repo/build/tools/cesp-sim" "--list")
+set_tests_properties(cesp_sim_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cesp_sim_synthetic "/root/repo/build/tools/cesp-sim" "--preset" "dep8x8" "--synthetic" "20000" "--tech" "0.18")
+set_tests_properties(cesp_sim_synthetic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cesp_trace_roundtrip "/root/repo/build/tools/cesp-trace" "--capture" "go" "--out" "go_smoke.trc" "--list" "10")
+set_tests_properties(cesp_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
