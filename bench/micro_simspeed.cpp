@@ -63,7 +63,17 @@ BENCHMARK(BM_FunctionalEmulation);
 static void
 BM_TimingSim(benchmark::State &state, const uarch::SimConfig &cfg)
 {
+    // The timing benchmarks must exercise the issue window, not the
+    // frontend: with the synthetic defaults (16 KB working set inside
+    // a 32 KB L1, mean dependence distance 6) the 128-entry window
+    // holds ~6 instructions and the benchmark measures fetch and
+    // commit instead. A pointer-chasing profile — short dependence
+    // chains over a working set far larger than the L1 — keeps the
+    // window occupied and the wakeup/select loop on the critical
+    // path.
     trace::SyntheticParams sp;
+    sp.mean_dep_distance = 2.0;
+    sp.working_set = 512 * 1024;
     trace::TraceBuffer buf = trace::generateSynthetic(sp, 100000);
     for (auto _ : state) {
         auto stats = uarch::simulate(cfg, buf);
@@ -74,19 +84,60 @@ BM_TimingSim(benchmark::State &state, const uarch::SimConfig &cfg)
     }
 }
 
+static uarch::SimConfig
+withModel(uarch::SimConfig cfg, uarch::IssueModel m)
+{
+    cfg.issue_model = m;
+    return cfg;
+}
+
+/** 8-way issue over a 128-entry central window. */
+static uarch::SimConfig
+window8x128()
+{
+    uarch::SimConfig c = core::baseline8Way();
+    c.window_size = 128;
+    return c;
+}
+
+/** 8-way issue over 128 total FIFO entries (16 FIFOs of depth 8). */
+static uarch::SimConfig
+fifos8x128()
+{
+    uarch::SimConfig c = core::dependence8x8();
+    c.fifos_per_cluster = 16;
+    return c;
+}
+
 static void
 BM_TimingSim_Window(benchmark::State &state)
 {
-    BM_TimingSim(state, core::baseline8Way());
+    BM_TimingSim(state, window8x128());
 }
 BENCHMARK(BM_TimingSim_Window);
 
 static void
+BM_TimingSim_Window_LegacyScan(benchmark::State &state)
+{
+    BM_TimingSim(state, withModel(window8x128(),
+                                  uarch::IssueModel::LegacyScan));
+}
+BENCHMARK(BM_TimingSim_Window_LegacyScan);
+
+static void
 BM_TimingSim_Fifos(benchmark::State &state)
 {
-    BM_TimingSim(state, core::dependence8x8());
+    BM_TimingSim(state, fifos8x128());
 }
 BENCHMARK(BM_TimingSim_Fifos);
+
+static void
+BM_TimingSim_Fifos_LegacyScan(benchmark::State &state)
+{
+    BM_TimingSim(state, withModel(fifos8x128(),
+                                  uarch::IssueModel::LegacyScan));
+}
+BENCHMARK(BM_TimingSim_Fifos_LegacyScan);
 
 static void
 BM_TimingSim_Clustered(benchmark::State &state)
@@ -94,5 +145,13 @@ BM_TimingSim_Clustered(benchmark::State &state)
     BM_TimingSim(state, core::clusteredDependence2x4());
 }
 BENCHMARK(BM_TimingSim_Clustered);
+
+static void
+BM_TimingSim_Clustered_LegacyScan(benchmark::State &state)
+{
+    BM_TimingSim(state, withModel(core::clusteredDependence2x4(),
+                                  uarch::IssueModel::LegacyScan));
+}
+BENCHMARK(BM_TimingSim_Clustered_LegacyScan);
 
 BENCHMARK_MAIN();

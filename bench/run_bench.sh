@@ -1,0 +1,28 @@
+#!/bin/sh
+# Run the micro_simspeed benchmark suite and record the results as
+# JSON at the repo root (BENCH_simspeed.json), so successive commits
+# can be compared with tools/compare.py from google-benchmark or
+# plain jq.
+#
+# Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
+#   bench/run_bench.sh                 # uses ./build
+#   bench/run_bench.sh build-release --benchmark_filter=TimingSim
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/micro_simspeed"
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build_dir --target micro_simspeed)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_simspeed.json"
+"$bin" --benchmark_format=json \
+       --benchmark_min_time=0.5 \
+       --benchmark_out="$out" \
+       --benchmark_out_format=json \
+       "$@"
+echo "wrote $out"

@@ -4,52 +4,78 @@
  * latency and compare the steering policies' tolerance — extending
  * the paper's Section 5.6 comparison to slower interconnects (the
  * paper's "two or more cycles in future technologies").
+ *
+ * The 17-machine x 7-workload matrix runs on the parallel sweep
+ * engine; pass --jobs N to set the worker count (default: all
+ * hardware threads). Results are identical for any thread count.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
+#include "core/sweep.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace cesp;
 using namespace cesp::core;
 
-namespace {
-
-double
-meanIpc(const uarch::SimConfig &cfg)
-{
-    Machine m(cfg);
-    uint64_t instrs = 0, cycles = 0;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto s = m.runWorkload(w.name);
-        instrs += s.committed;
-        cycles += s.cycles;
-    }
-    return static_cast<double>(instrs) / static_cast<double>(cycles);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    double ideal = meanIpc(baseline8Way());
-    std::printf("ideal 1-cluster 8-way IPC: %.3f\n\n", ideal);
+    unsigned jobs = 0; // 0 = defaultJobs()
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+
+    // Resolve the workload traces on the main thread (the cache is
+    // not thread-safe), then build the full machine list: the ideal
+    // 1-cluster reference plus every organization at every bypass
+    // latency.
+    std::vector<const trace::TraceBuffer *> traces;
+    for (const auto &w : workloads::allWorkloads())
+        traces.push_back(&cachedWorkloadTrace(w.name));
+
+    std::vector<uarch::SimConfig> machines = {baseline8Way()};
+    for (auto maker : {clusteredDependence2x4, clusteredWindows2x4,
+                       clusteredExecDriven2x4, clusteredRandom2x4}) {
+        for (int extra : {1, 2, 3, 4}) {
+            uarch::SimConfig cfg = maker();
+            cfg.inter_cluster_extra = extra;
+            machines.push_back(cfg);
+        }
+    }
+
+    std::vector<SweepTask> tasks;
+    for (const uarch::SimConfig &cfg : machines)
+        for (const trace::TraceBuffer *t : traces)
+            tasks.push_back({cfg, t});
+    std::vector<uarch::SimStats> stats = runSweep(tasks, jobs);
+
+    // Cycles-weighted mean IPC of machine m over all workloads.
+    auto meanIpc = [&](size_t m) {
+        uint64_t instrs = 0, cycles = 0;
+        for (size_t w = 0; w < traces.size(); ++w) {
+            const uarch::SimStats &s = stats[m * traces.size() + w];
+            instrs += s.committed;
+            cycles += s.cycles;
+        }
+        return static_cast<double>(instrs) /
+            static_cast<double>(cycles);
+    };
+
+    std::printf("ideal 1-cluster 8-way IPC: %.3f\n\n", meanIpc(0));
 
     Table t("IPC vs inter-cluster bypass latency (extra cycles)");
     t.header({"organization", "+1 (paper)", "+2", "+3", "+4"});
-    for (auto maker : {clusteredDependence2x4, clusteredWindows2x4,
-                       clusteredExecDriven2x4, clusteredRandom2x4}) {
-        uarch::SimConfig base_cfg = maker();
-        std::vector<std::string> row = {base_cfg.name};
-        for (int extra : {1, 2, 3, 4}) {
-            uarch::SimConfig cfg = base_cfg;
-            cfg.inter_cluster_extra = extra;
-            row.push_back(cell(meanIpc(cfg), 3));
-        }
+    size_t m = 1;
+    for (int org = 0; org < 4; ++org) {
+        std::vector<std::string> row = {machines[m].name};
+        for (int extra = 0; extra < 4; ++extra)
+            row.push_back(cell(meanIpc(m++), 3));
         t.row(row);
     }
     t.print();

@@ -5,40 +5,63 @@
  * to find the complexity-effective design points — the paper's core
  * methodology applied as a tool. Also extrapolates the technology
  * scaling below 0.18 um with the generic scaled-technology model.
+ *
+ * The (machine x workload) simulation matrix runs on the parallel
+ * sweep engine; pass --jobs N to set the worker count (default: all
+ * hardware threads). Results are identical for any thread count.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
+#include "core/sweep.hpp"
 #include "vlsi/clock.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace cesp;
 using namespace cesp::vlsi;
 
-namespace {
-
-/** Harmonic-mean IPC over all workloads (cycles-weighted). */
-double
-meanIpc(const core::Machine &m)
-{
-    uint64_t instrs = 0, cycles = 0;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto s = m.runWorkload(w.name);
-        instrs += s.committed;
-        cycles += s.cycles;
-    }
-    return static_cast<double>(instrs) / static_cast<double>(cycles);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = 0; // 0 = defaultJobs()
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+
     ClockEstimator est(Process::um0_18);
+
+    // The sweep engine wants resolved trace pointers, and the
+    // workload trace cache is not thread-safe, so warm it here on
+    // the main thread before any worker starts.
+    std::vector<const trace::TraceBuffer *> traces;
+    for (const auto &w : workloads::allWorkloads())
+        traces.push_back(&core::cachedWorkloadTrace(w.name));
+
+    struct Variant
+    {
+        int iw;
+        bool fifo;
+        uarch::SimConfig cfg;
+    };
+    std::vector<Variant> variants;
+    for (int iw : {2, 4, 8})
+        for (bool fifo : {false, true})
+            variants.push_back({iw, fifo,
+                                fifo ? core::scaledDependence(iw)
+                                     : core::scaledBaseline(iw)});
+
+    // One task per (machine, workload) pair, grouped by machine so
+    // results[v * traces.size() + w] is variant v on workload w.
+    std::vector<core::SweepTask> tasks;
+    for (const Variant &v : variants)
+        for (const trace::TraceBuffer *t : traces)
+            tasks.push_back({v.cfg, t});
+    std::vector<uarch::SimStats> stats = core::runSweep(tasks, jobs);
 
     Table t("Complexity-effectiveness across issue widths (0.18um)");
     t.header({"machine", "IPC", "clock ps", "clock MHz", "BIPS",
@@ -46,30 +69,33 @@ main()
 
     double best_bips = 0.0;
     std::string best;
-    for (int iw : {2, 4, 8}) {
-        for (bool fifo : {false, true}) {
-            uarch::SimConfig cfg = fifo ? core::scaledDependence(iw)
-                                        : core::scaledBaseline(iw);
-            core::Machine m(cfg);
-            double ipc = meanIpc(m);
-
-            ClockConfig cc;
-            cc.org = fifo ? IssueOrganization::DependenceFifos
-                          : IssueOrganization::CentralWindow;
-            cc.issue_width = iw;
-            cc.window_size = 8 * iw;
-            cc.fifos_per_cluster = iw;
-            StageDelays d = est.delays(cc);
-
-            double bips = ipc * d.clockMhz() / 1000.0;
-            if (bips > best_bips) {
-                best_bips = bips;
-                best = cfg.name;
-            }
-            t.row({cfg.name, cell(ipc, 3), cell(d.criticalPs()),
-                   cell(d.clockMhz(), 0), cell(bips, 2),
-                   d.criticalStage()});
+    for (size_t v = 0; v < variants.size(); ++v) {
+        // Cycles-weighted mean IPC over all workloads.
+        uint64_t instrs = 0, cycles = 0;
+        for (size_t w = 0; w < traces.size(); ++w) {
+            const uarch::SimStats &s = stats[v * traces.size() + w];
+            instrs += s.committed;
+            cycles += s.cycles;
         }
+        double ipc = static_cast<double>(instrs) /
+            static_cast<double>(cycles);
+
+        ClockConfig cc;
+        cc.org = variants[v].fifo ? IssueOrganization::DependenceFifos
+                                  : IssueOrganization::CentralWindow;
+        cc.issue_width = variants[v].iw;
+        cc.window_size = 8 * variants[v].iw;
+        cc.fifos_per_cluster = variants[v].iw;
+        StageDelays d = est.delays(cc);
+
+        double bips = ipc * d.clockMhz() / 1000.0;
+        if (bips > best_bips) {
+            best_bips = bips;
+            best = variants[v].cfg.name;
+        }
+        t.row({variants[v].cfg.name, cell(ipc, 3),
+               cell(d.criticalPs()), cell(d.clockMhz(), 0),
+               cell(bips, 2), d.criticalStage()});
     }
     t.print();
     std::printf("Most complexity-effective design point: %s "

@@ -63,11 +63,23 @@ class Histogram
     void
     add(double v)
     {
+        add(v, 1);
+    }
+
+    /**
+     * Record @p n identical samples at once. Used by the timing
+     * simulator's idle-cycle skip, which must account for every
+     * skipped cycle's per-cycle samples in bulk so skipping is
+     * observationally identical to stepping cycle by cycle.
+     */
+    void
+    add(double v, uint64_t n)
+    {
         size_t b = v < 0 ? 0 : static_cast<size_t>(v / width_);
         if (b >= counts_.size())
             b = counts_.size() - 1;
-        counts_[b] += 1;
-        total_ += 1;
+        counts_[b] += n;
+        total_ += n;
     }
 
     uint64_t bucket(size_t i) const { return counts_[i]; }

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Work-stealing implementation of the sweep runner.
+ */
+
+#include "core/sweep.hpp"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace cesp::core {
+
+namespace {
+
+/**
+ * A worker's task deque. The owner pops from the front (its
+ * round-robin share, in task order); thieves pop from the back, so
+ * owner and thieves contend on opposite ends and the owner keeps the
+ * cache-warm early tasks. A plain mutex per deque is enough here:
+ * tasks are whole simulations (milliseconds to seconds), so queue
+ * operations are nowhere near the critical path.
+ */
+struct WorkerQueue
+{
+    std::mutex mu;
+    std::deque<size_t> tasks;
+
+    bool
+    popOwn(size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (tasks.empty())
+            return false;
+        out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+
+    bool
+    steal(size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (tasks.empty())
+            return false;
+        out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+};
+
+void
+runTask(const SweepTask &t, uarch::SimStats &out)
+{
+    trace::TraceCursor cursor(*t.trace);
+    out = uarch::simulate(t.cfg, cursor);
+}
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+std::vector<uarch::SimStats>
+runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
+{
+    for (const SweepTask &t : tasks) {
+        if (!t.trace)
+            panic("runSweep: task with null trace");
+        t.cfg.validate();
+    }
+
+    std::vector<uarch::SimStats> results(tasks.size());
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs > tasks.size())
+        jobs = static_cast<unsigned>(tasks.size());
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < tasks.size(); ++i)
+            runTask(tasks[i], results[i]);
+        return results;
+    }
+
+    // All work is known up front, so the deques are filled before any
+    // worker starts and never refilled: a worker that finds every
+    // deque empty is done. Round-robin seeding spreads neighboring
+    // (similar-cost) tasks across workers.
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    queues.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    for (size_t i = 0; i < tasks.size(); ++i)
+        queues[i % jobs]->tasks.push_back(i);
+
+    auto worker = [&](unsigned self) {
+        size_t idx;
+        for (;;) {
+            if (queues[self]->popOwn(idx)) {
+                runTask(tasks[idx], results[idx]);
+                continue;
+            }
+            bool stole = false;
+            for (unsigned off = 1; off < jobs && !stole; ++off)
+                stole = queues[(self + off) % jobs]->steal(idx);
+            if (!stole)
+                return;
+            runTask(tasks[idx], results[idx]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        pool.emplace_back(worker, w);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<uarch::SimStats>
+runSweep(const std::vector<uarch::SimConfig> &configs,
+         const trace::TraceBuffer &trace, unsigned jobs)
+{
+    std::vector<SweepTask> tasks;
+    tasks.reserve(configs.size());
+    for (const uarch::SimConfig &cfg : configs)
+        tasks.push_back({cfg, &trace});
+    return runSweep(tasks, jobs);
+}
+
+} // namespace cesp::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parallel sweep runner: simulate many configurations over shared
+ * traces across a pool of worker threads. Design-space exploration
+ * is embarrassingly parallel — every (configuration, trace) pair is
+ * an independent simulation — so the harnesses that used to loop
+ * serially (design_space, clustered_tradeoff, cesp-sim sweeps) hand
+ * their task lists to runSweep instead.
+ *
+ * Determinism: results are indexed by task position and each
+ * simulation is a pure function of its (config, trace) pair, so the
+ * output is bit-identical for any thread count, including 1. The
+ * simulator holds no mutable global state (verified by the
+ * tsan-labeled sweep test); the one process-wide cache in the
+ * library, core::cachedWorkloadTrace, is NOT thread-safe and must be
+ * resolved on the calling thread before the sweep starts — which is
+ * natural, since SweepTask wants the resolved buffer pointer anyway.
+ */
+
+#ifndef CESP_CORE_SWEEP_HPP
+#define CESP_CORE_SWEEP_HPP
+
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "uarch/config.hpp"
+#include "uarch/pipeline.hpp"
+
+namespace cesp::core {
+
+/** One simulation in a sweep. The trace is shared, not owned, and
+ *  must outlive the runSweep call; workers read it through private
+ *  TraceCursors. */
+struct SweepTask
+{
+    uarch::SimConfig cfg;
+    const trace::TraceBuffer *trace = nullptr;
+};
+
+/** Worker count used when jobs == 0: the hardware concurrency, or 1
+ *  if the runtime cannot report it. */
+unsigned defaultJobs();
+
+/**
+ * Simulate every task and return the statistics in task order.
+ * Tasks are distributed round-robin over per-worker deques; a worker
+ * that drains its own deque steals from the back of its neighbors',
+ * so uneven task lengths (a 16-way machine next to a 2-way one)
+ * still load-balance. jobs == 0 means defaultJobs(), jobs == 1 runs
+ * inline on the calling thread.
+ */
+std::vector<uarch::SimStats> runSweep(const std::vector<SweepTask> &tasks,
+                                      unsigned jobs = 0);
+
+/** Convenience: every configuration over one shared trace. */
+std::vector<uarch::SimStats>
+runSweep(const std::vector<uarch::SimConfig> &configs,
+         const trace::TraceBuffer &trace, unsigned jobs = 0);
+
+} // namespace cesp::core
+
+#endif // CESP_CORE_SWEEP_HPP

@@ -100,6 +100,36 @@ class TraceBuffer : public TraceSink, public TraceSource
     size_t pos_ = 0;
 };
 
+/**
+ * Read-only cursor over a TraceBuffer someone else owns. A
+ * TraceBuffer is itself a TraceSource, but its cursor is part of the
+ * buffer, so two simulations cannot share one buffer concurrently.
+ * Each TraceCursor carries its own position and only reads the
+ * underlying storage — any number of cursors may walk the same
+ * buffer from different threads, which is what the sweep runner
+ * does.
+ */
+class TraceCursor : public TraceSource
+{
+  public:
+    explicit TraceCursor(const TraceBuffer &buf) : buf_(buf) {}
+
+    bool
+    next(TraceOp &out) override
+    {
+        if (pos_ >= buf_.size())
+            return false;
+        out = buf_[pos_++];
+        return true;
+    }
+
+    void rewind() override { pos_ = 0; }
+
+  private:
+    const TraceBuffer &buf_;
+    size_t pos_ = 0;
+};
+
 /** Summary statistics of a trace (used by tests and reports). */
 struct TraceMix
 {

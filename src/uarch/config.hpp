@@ -79,6 +79,32 @@ struct BpredConfig
 };
 
 /**
+ * How the simulator finds ready instructions each cycle. Both models
+ * are observationally identical (cycle- and statistic-exact); the
+ * knob exists so tests and benchmarks can compare them.
+ *
+ *  - EventDriven (default): a ready-event calendar. When an
+ *    instruction issues, its completion time is known, so a wakeup
+ *    event is pushed for each dependent at the exact cycle its value
+ *    becomes usable in the dependent's cluster; selection draws from
+ *    a maintained ready set. Idle stretches (fetch blocked, nothing
+ *    ready) are skipped in one jump to the next event. Machines
+ *    using SelectPolicy::Random or in-order issue fall back to the
+ *    scan model internally: random selection shuffles the entire
+ *    buffer (not just the ready set) and in-order issue stalls on
+ *    the oldest *unready* instruction, so both are defined in terms
+ *    of the full per-cycle candidate list.
+ *  - LegacyScan: re-scan every buffered instruction every cycle,
+ *    mirroring the broadcast-wakeup hardware of Section 4.2. Kept as
+ *    the reference for equivalence tests and benchmarks.
+ */
+enum class IssueModel
+{
+    EventDriven,
+    LegacyScan,
+};
+
+/**
  * Order in which ready instructions are considered by the selection
  * logic. The paper adopts position-based (oldest-first) selection
  * from the HP PA-8000 and cites Butler and Patt's finding that
@@ -183,6 +209,8 @@ struct SimConfig
     int wakeup_select_stages = 1;
     /** Selection order among ready instructions. */
     SelectPolicy select_policy = SelectPolicy::OldestFirst;
+    /** Ready-instruction discovery model (identical results). */
+    IssueModel issue_model = IssueModel::EventDriven;
     /**
      * Compact the central window on issue so position priority stays
      * age-ordered (Section 4.3.1). When false, dispatch reuses freed

@@ -38,6 +38,15 @@ struct DynInst
     uint64_t issue_cycle = kNeverCycle;
     uint64_t complete_cycle = kNeverCycle;
 
+    // Event-driven wakeup state (maintained by the pipeline when the
+    // event calendar is active; unused by the reference scan path).
+    /** Cycle all sources are ready (valid once pending_srcs == 0). */
+    uint64_t wake_cycle = kNeverCycle;
+    /** Source registers whose producer has not been scheduled yet. */
+    int8_t pending_srcs = 0;
+    /** Slot index in a slot-priority central window (-1 otherwise). */
+    int16_t wslot = -1;
+
     bool in_buffer = false;    //!< waiting in window/FIFO
     bool issued = false;
     bool mispredicted = false; //!< conditional branch, wrong direction

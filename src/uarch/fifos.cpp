@@ -40,6 +40,7 @@ FifoSet::clear()
                 c * per_cluster_ + i);
     }
     current_cluster_ = 0;
+    total_entries_ = 0;
 }
 
 const FifoSet::Fifo &
@@ -91,6 +92,7 @@ FifoSet::push(int fifo, uint64_t seq)
     if (!f.entries.empty() && f.entries.back() >= seq)
         panic("FifoSet: out-of-order push (fifo %d)", fifo);
     f.entries.push_back(seq);
+    ++total_entries_;
 }
 
 void
@@ -108,6 +110,7 @@ FifoSet::popHead(int fifo)
     if (f.entries.empty())
         panic("FifoSet: pop of empty fifo %d", fifo);
     f.entries.pop_front();
+    --total_entries_;
     if (f.entries.empty())
         recycle(fifo);
 }
@@ -120,6 +123,7 @@ FifoSet::remove(int fifo, uint64_t seq)
     if (it == f.entries.end())
         panic("FifoSet: remove of absent seq from fifo %d", fifo);
     f.entries.erase(it);
+    --total_entries_;
     if (f.entries.empty())
         recycle(fifo);
 }

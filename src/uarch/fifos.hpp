@@ -93,6 +93,9 @@ class FifoSet
     /** Ids of the current head instructions across allocated FIFOs. */
     std::vector<uint64_t> headSeqs() const;
 
+    /** Instructions buffered across all FIFOs (O(1), maintained). */
+    size_t totalEntries() const { return total_entries_; }
+
     /** Entries of one FIFO, oldest first (for tests / visualizers). */
     const std::deque<uint64_t> &
     contents(int fifo) const
@@ -120,6 +123,7 @@ class FifoSet
     int per_cluster_;
     int depth_;
     int current_cluster_ = 0; //!< two-free-list "current" pointer
+    size_t total_entries_ = 0; //!< buffered instructions, all FIFOs
     std::vector<Fifo> fifos_;
     std::vector<std::deque<int>> free_; //!< per-cluster free pools
 };

@@ -19,6 +19,17 @@ Pipeline::Pipeline(const SimConfig &cfg, trace::TraceSource &src)
     cfg_.validate();
     stats_.config_name = cfg_.name;
 
+    // Random selection shuffles the entire buffer and in-order issue
+    // stalls on unready instructions — both are defined over the full
+    // candidate list, so they keep the reference scan.
+    event_driven_ =
+        cfg_.issue_model == IssueModel::EventDriven &&
+        !cfg_.in_order_issue &&
+        cfg_.select_policy != SelectPolicy::Random;
+    slot_keyed_ = cfg_.style == IssueBufferStyle::CentralWindow &&
+        !cfg_.window_compaction;
+    calendars_.resize(static_cast<size_t>(cfg_.num_clusters));
+
     switch (cfg_.style) {
       case IssueBufferStyle::CentralWindow:
         windows_.emplace_back(cfg_.window_size,
@@ -224,6 +235,9 @@ Pipeline::completeIssue(DynInst &inst, int cluster, int latency)
         }
     }
 
+    if (event_driven_)
+        readyErase(readyKey(inst), inst.seq);
+
     if (inst.dst_preg >= 0) {
         PhysReg &pr = rename_.preg(inst.dst_preg);
         pr.computed_cycle = inst.complete_cycle;
@@ -245,6 +259,15 @@ Pipeline::completeIssue(DynInst &inst, int cluster, int latency)
             pr.rf_visible[c] =
                 rc + static_cast<uint64_t>(cfg_.regfile_extra);
         }
+        pr.scheduled = true;
+        if (event_driven_) {
+            for (uint64_t w : pr.waiters) {
+                DynInst &d = rob(w);
+                if (--d.pending_srcs == 0)
+                    scheduleReady(d, now_ + 1);
+            }
+            pr.waiters.clear();
+        }
     }
 
     if (inst.op.isStore())
@@ -256,6 +279,15 @@ Pipeline::completeIssue(DynInst &inst, int cluster, int latency)
     }
 
     removeFromBuffer(inst);
+    // An issued FIFO head exposes its successor to selection; if the
+    // successor's sources are already scheduled, its earlier wakeup
+    // event fired while it was buried and was dropped, so re-arm it.
+    if (event_driven_ && cfg_.style == IssueBufferStyle::Fifos &&
+        !fifos_->empty(inst.fifo)) {
+        DynInst &h = rob(fifos_->head(inst.fifo));
+        if (h.pending_srcs == 0)
+            scheduleReady(h, now_ + 1);
+    }
     ++stats_.issued;
     ++stats_.issued_per_cluster[cluster];
     if (on_issue_)
@@ -299,6 +331,179 @@ Pipeline::tryIssueOne(DynInst &inst, int &global_issued,
 
 void
 Pipeline::doIssue()
+{
+    if (event_driven_)
+        doIssueEvent();
+    else
+        doIssueScan();
+}
+
+void
+Pipeline::readyInsert(uint64_t key, uint64_t seq)
+{
+    std::pair<uint64_t, uint64_t> v{key, seq};
+    auto it = std::lower_bound(ready_.begin(), ready_.end(), v);
+    if (it == ready_.end() || *it != v)
+        ready_.insert(it, v); // duplicate events fire once
+}
+
+void
+Pipeline::readyErase(uint64_t key, uint64_t seq)
+{
+    std::pair<uint64_t, uint64_t> v{key, seq};
+    auto it = std::lower_bound(ready_.begin(), ready_.end(), v);
+    if (it != ready_.end() && *it == v)
+        ready_.erase(it);
+}
+
+uint64_t
+Pipeline::readyKey(const DynInst &inst) const
+{
+    // Slot-priority central windows select by slot position, not age.
+    return slot_keyed_ ? static_cast<uint64_t>(inst.wslot) : inst.seq;
+}
+
+uint64_t
+Pipeline::instReadyCycle(const DynInst &inst) const
+{
+    if (inst.cluster >= 0)
+        return srcReadyCycle(inst, inst.cluster);
+    // Unassigned cluster (execution-driven steering): the instruction
+    // becomes selectable when any cluster can provide its sources.
+    uint64_t best = kNeverCycle;
+    for (int c = 0; c < cfg_.num_clusters; ++c)
+        best = std::min(best, srcReadyCycle(inst, c));
+    return best;
+}
+
+void
+Pipeline::scheduleReady(DynInst &inst, uint64_t earliest)
+{
+    uint64_t wake = std::max(instReadyCycle(inst), earliest);
+    inst.wake_cycle = wake;
+    size_t c = inst.cluster >= 0 ? static_cast<size_t>(inst.cluster)
+                                 : 0;
+    calendars_[c].schedule(wake, inst.seq);
+}
+
+void
+Pipeline::wireDispatchEvents(DynInst &inst)
+{
+    int pending = 0;
+    for (int p : {inst.src1_preg, inst.src2_preg}) {
+        if (p < 0)
+            continue;
+        PhysReg &pr = rename_.preg(p);
+        if (pr.scheduled)
+            continue;
+        pr.waiters.push_back(inst.seq);
+        ++pending;
+    }
+    inst.pending_srcs = static_cast<int8_t>(pending);
+    // All sources scheduled: the wakeup cycle is already final. (For
+    // the FIFO style this instruction necessarily opened a new FIFO —
+    // chaining requires an unissued producer — so it is a head.)
+    if (pending == 0)
+        scheduleReady(inst, now_ + 1);
+}
+
+void
+Pipeline::drainWakeups()
+{
+    event_scratch_.clear();
+    for (auto &cal : calendars_)
+        cal.popDue(now_, event_scratch_);
+    for (uint64_t s : event_scratch_) {
+        if (s < rob_head_ || s >= rob_tail_)
+            continue; // committed; stale duplicate event
+        DynInst &d = rob_[s % rob_.size()];
+        if (d.seq != s || !d.in_buffer || d.issued)
+            continue; // slot reused or already issued
+        if (cfg_.style == IssueBufferStyle::Fifos &&
+            fifos_->head(d.fifo) != s)
+            continue; // buried in a FIFO; re-armed on head change
+        readyInsert(readyKey(d), s);
+    }
+}
+
+void
+Pipeline::doIssueEvent()
+{
+    drainWakeups();
+
+    stats_.buffer_occupancy.add(static_cast<double>(bufferedCount()));
+
+    // Iterate the ready set in place: the only mutation issuing can
+    // make is erasing the entry just issued, and wakeups it schedules
+    // land at now_ + 1, so the candidates seen are exactly the
+    // cycle-start snapshot (matching the scan path's fixed list).
+    int global_issued = 0;
+    FuUsage usage;
+    if (cfg_.select_policy == SelectPolicy::YoungestFirst) {
+        size_t i = ready_.size();
+        while (i > 0 && global_issued < cfg_.issue_width) {
+            --i;
+            // an issue erases ready_[i]; indices below are unmoved
+            tryIssueOne(rob(ready_[i].second), global_issued, usage);
+        }
+    } else {
+        size_t i = 0;
+        while (i < ready_.size() &&
+               global_issued < cfg_.issue_width) {
+            size_t before = ready_.size();
+            tryIssueOne(rob(ready_[i].second), global_issued, usage);
+            if (ready_.size() == before)
+                ++i; // kept; an issue shifts the next entry into i
+        }
+    }
+    stats_.issue_sizes.add(static_cast<double>(global_issued));
+}
+
+void
+Pipeline::maybeSkipIdle()
+{
+    if (!event_driven_ || !ready_.empty())
+        return;
+    if (trace_done_ && fetch_q_.empty() && robSize() == 0)
+        return; // fully drained; the run loop is about to exit
+
+    // Fetch must be unable to deliver this cycle.
+    bool fetch_blocked = trace_done_ ||
+        blocking_branch_ != kNoSeq || now_ < fetch_resume_ ||
+        static_cast<int>(fetch_q_.size()) >= cfg_.fetch_queue;
+    if (!fetch_blocked)
+        return;
+    // Dispatch must be a no-op without touching stall counters.
+    if (!fetch_q_.empty() && fetch_q_.front().frontend_exit <= now_)
+        return;
+    // Commit must not be due (an issued ROB head bounds the jump
+    // below; an unissued head is woken by a calendar event).
+    uint64_t target = kNeverCycle;
+    for (const auto &cal : calendars_)
+        target = std::min(target, cal.nextEventCycle());
+    if (robSize() > 0) {
+        const DynInst &head = rob(rob_head_);
+        if (head.issued)
+            target = std::min(target, head.complete_cycle);
+    }
+    if (!fetch_q_.empty())
+        target = std::min(target, fetch_q_.front().frontend_exit);
+    if (!trace_done_ && blocking_branch_ == kNoSeq &&
+        now_ < fetch_resume_)
+        target = std::min(target, fetch_resume_);
+    if (target == kNeverCycle || target <= now_)
+        return;
+
+    // Cycles [now_, target) do nothing but sample per-cycle stats.
+    uint64_t skipped = target - now_;
+    stats_.buffer_occupancy.add(static_cast<double>(bufferedCount()),
+                                skipped);
+    stats_.issue_sizes.add(0.0, skipped);
+    now_ = target;
+}
+
+void
+Pipeline::doIssueScan()
 {
     // Gather this cycle's selection candidates, oldest first.
     std::vector<uint64_t> candidates;
@@ -355,10 +560,8 @@ Pipeline::bufferedCount() const
     size_t n = 0;
     for (const auto &w : windows_)
         n += static_cast<size_t>(w.size());
-    if (cfg_.style == IssueBufferStyle::Fifos && fifos_) {
-        for (int f = 0; f < fifos_->numFifos(); ++f)
-            n += fifos_->contents(f).size();
-    }
+    if (cfg_.style == IssueBufferStyle::Fifos && fifos_)
+        n += fifos_->totalEntries();
     return n;
 }
 
@@ -457,7 +660,8 @@ Pipeline::doDispatch()
         // Insert into the issue buffering.
         switch (cfg_.style) {
           case IssueBufferStyle::CentralWindow:
-            windows_[0].insert(inst.seq);
+            inst.wslot =
+                static_cast<int16_t>(windows_[0].insert(inst.seq));
             break;
           case IssueBufferStyle::PerClusterWindow:
             windows_[static_cast<size_t>(inst.cluster)].insert(
@@ -477,6 +681,8 @@ Pipeline::doDispatch()
         inst.in_buffer = true;
         rob_[inst.seq % rob_.size()] = inst;
         rob_tail_ = inst.seq + 1;
+        if (event_driven_)
+            wireDispatchEvents(rob_[inst.seq % rob_.size()]);
         fetch_q_.pop_front();
         ++stats_.dispatched;
         if (on_dispatch_)
@@ -562,6 +768,7 @@ Pipeline::run(uint64_t max_instructions)
                   cfg_.name.c_str(), (unsigned long long)now_,
                   robSize());
         }
+        maybeSkipIdle();
     }
 
     stats_.cycles = now_;

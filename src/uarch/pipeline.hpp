@@ -12,6 +12,16 @@
  * so dependent single-cycle operations issue in back-to-back cycles.
  * Recovery is the standard trace-driven model: a mispredicted
  * conditional branch stalls instruction delivery until it executes.
+ *
+ * Ready instructions are discovered with an event calendar rather
+ * than a per-cycle scan of the whole buffer (IssueModel::EventDriven,
+ * the default): issuing an instruction schedules wakeup events for
+ * its dependents at the exact cycle their operands become usable, the
+ * select stage draws from a maintained ready set ordered by selection
+ * priority, and provably idle cycle stretches are skipped in one
+ * jump. The per-cycle scan survives as IssueModel::LegacyScan; the
+ * two are cycle- and statistic-exact against each other (enforced by
+ * tests/test_event_sched.cpp).
  */
 
 #ifndef CESP_UARCH_PIPELINE_HPP
@@ -19,6 +29,7 @@
 
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bpred/bpred.hpp"
@@ -32,6 +43,7 @@
 #include "uarch/lsq.hpp"
 #include "uarch/rename.hpp"
 #include "uarch/steering.hpp"
+#include "uarch/wakeup.hpp"
 #include "uarch/window.hpp"
 
 namespace cesp::uarch {
@@ -146,6 +158,8 @@ class Pipeline
   private:
     void doCommit();
     void doIssue();
+    void doIssueScan();  //!< reference per-cycle candidate scan
+    void doIssueEvent(); //!< event-calendar issue (default)
     void doDispatch();
     void doFetch();
 
@@ -175,6 +189,22 @@ class Pipeline
     void completeIssue(DynInst &inst, int cluster, int latency);
     void removeFromBuffer(DynInst &inst);
     int loadLatency(DynInst &inst);
+
+    // Event-driven wakeup machinery (no-ops under LegacyScan).
+    /** Register source waiters / schedule the first wakeup event. */
+    void wireDispatchEvents(DynInst &inst);
+    /** Earliest cycle @p inst's sources are all ready (its cluster,
+     *  or the best cluster when unassigned). Sources must all be
+     *  scheduled. */
+    uint64_t instReadyCycle(const DynInst &inst) const;
+    /** Push a wakeup event at max(sources-ready, @p earliest). */
+    void scheduleReady(DynInst &inst, uint64_t earliest);
+    /** Move fired events into the ready set. */
+    void drainWakeups();
+    /** Ready-set ordering key (slot for slot-priority, else age). */
+    uint64_t readyKey(const DynInst &inst) const;
+    /** Jump over cycles that provably perform no work. */
+    void maybeSkipIdle();
 
     DynInst &rob(uint64_t seq);
     const DynInst &rob(uint64_t seq) const;
@@ -207,6 +237,19 @@ class Pipeline
 
     int ls_ports_used_ = 0; //!< per-cycle cache-port counter
     Rng select_rng_{0};     //!< for SelectPolicy::Random
+
+    // Event-driven issue state.
+    bool event_driven_ = false; //!< resolved issue model for this run
+    bool slot_keyed_ = false;   //!< ready set ordered by window slot
+    std::vector<WakeupCalendar> calendars_; //!< one per cluster
+    /** Buffered instructions with all sources ready, sorted by
+     *  selection priority: (key, seq). A flat vector: it stays small
+     *  (bounded by the issue buffering) and is copied every cycle, so
+     *  contiguity beats node-based sets. */
+    std::vector<std::pair<uint64_t, uint64_t>> ready_;
+    void readyInsert(uint64_t key, uint64_t seq);
+    void readyErase(uint64_t key, uint64_t seq);
+    std::vector<uint64_t> event_scratch_; //!< drained events, reused
 
     InstObserver on_dispatch_;
     InstObserver on_issue_;

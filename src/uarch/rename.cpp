@@ -49,10 +49,14 @@ RenameState::rename(int arch_dst, uint64_t seq)
     int p = pool.front();
     pool.pop_front();
 
+    // Reset in place (not via struct assignment) so the waiter
+    // vector's capacity survives reallocation churn.
     PhysReg &pr = pregs_[static_cast<size_t>(p)];
-    pr = PhysReg{};
     pr.computed_cycle = kNeverCycle;
     pr.producer_seq = seq;
+    pr.producing_cluster = 0;
+    pr.scheduled = false;
+    pr.waiters.clear();
     for (int c = 0; c < kMaxClusters; ++c) {
         pr.ready_cycle[c] = kNeverCycle;
         pr.rf_visible[c] = kNeverCycle;

@@ -39,6 +39,17 @@ struct PhysReg
     uint64_t computed_cycle = 0;
     uint64_t producer_seq = kNoSeq; //!< renaming instruction
     int producing_cluster = 0;
+    /**
+     * True once ready_cycle/rf_visible are final: the producer has
+     * issued (or the register is a live-in with no in-flight
+     * producer). Until then, dispatched consumers register in
+     * waiters and are woken when the producer issues — the
+     * event-driven replacement for broadcasting every result tag to
+     * every window entry each cycle.
+     */
+    bool scheduled = true;
+    /** Buffered consumers awaiting this value's schedule (seqs). */
+    std::vector<uint64_t> waiters;
 
     bool
     readyFor(int cluster, uint64_t now) const

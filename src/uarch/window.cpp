@@ -22,11 +22,12 @@ IssueWindow::IssueWindow(int capacity, WindowOrder order)
         compacted_.reserve(static_cast<size_t>(capacity));
 }
 
-void
+int
 IssueWindow::insert(uint64_t seq)
 {
     if (full())
         panic("IssueWindow: insert into full window");
+    int slot = -1;
     if (order_ == WindowOrder::AgeCompacted) {
         if (!compacted_.empty() && compacted_.back() >= seq)
             panic("IssueWindow: out-of-order insert");
@@ -37,8 +38,10 @@ IssueWindow::insert(uint64_t seq)
         if (it == slots_.end())
             panic("IssueWindow: no free slot despite size check");
         *it = seq;
+        slot = static_cast<int>(it - slots_.begin());
     }
     ++size_;
+    return slot;
 }
 
 void

@@ -43,8 +43,13 @@ class IssueWindow
     bool empty() const { return size_ == 0; }
     WindowOrder order() const { return order_; }
 
-    /** Insert a dispatched instruction (must be youngest so far). */
-    void insert(uint64_t seq);
+    /**
+     * Insert a dispatched instruction (must be youngest so far).
+     * Returns the slot index that determines the instruction's
+     * selection priority for SlotPriority windows, -1 for
+     * AgeCompacted windows (whose priority is age, i.e. seq).
+     */
+    int insert(uint64_t seq);
 
     /** Remove an issued instruction. */
     void remove(uint64_t seq);

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the parallel sweep runner: results must be identical for
+ * any worker count (the simulator is a pure function of its config
+ * and trace, and the runner must not introduce shared mutable
+ * state). This suite carries the "tsan" ctest label so the
+ * ThreadSanitizer preset re-runs it under race detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/sweep.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace cesp;
+using core::SweepTask;
+using uarch::SimStats;
+
+namespace {
+
+std::string
+fingerprint(const SimStats &s)
+{
+    std::ostringstream os;
+    os << s.cycles << "/" << s.fetched << "/" << s.dispatched << "/"
+       << s.issued << "/" << s.committed << "/" << s.mispredicts
+       << "/" << s.dcache_misses << "/" << s.l2_misses << "/"
+       << s.store_forwards << "/" << s.intercluster_bypasses;
+    for (size_t b = 0; b < s.issue_sizes.buckets(); ++b)
+        os << "," << s.issue_sizes.bucket(b);
+    for (size_t b = 0; b < s.buffer_occupancy.buckets(); ++b)
+        os << "," << s.buffer_occupancy.bucket(b);
+    return os.str();
+}
+
+/** A mixed task list: several organizations over two traces. */
+std::vector<SweepTask>
+mixedTasks(const trace::TraceBuffer &a, const trace::TraceBuffer &b)
+{
+    std::vector<uarch::SimConfig> configs = core::figure17Configs();
+    configs.push_back(core::dependence8x8());
+    configs.push_back(core::baseline16Way());
+
+    std::vector<SweepTask> tasks;
+    for (const uarch::SimConfig &cfg : configs) {
+        tasks.push_back({cfg, &a});
+        tasks.push_back({cfg, &b});
+    }
+    return tasks;
+}
+
+} // namespace
+
+TEST(Sweep, IdenticalResultsForAnyThreadCount)
+{
+    trace::SyntheticParams pa;
+    pa.seed = 3;
+    trace::TraceBuffer a = trace::generateSynthetic(pa, 15000);
+    trace::SyntheticParams pb;
+    pb.seed = 8;
+    pb.working_set = 256 * 1024; // cache-missing variant
+    trace::TraceBuffer b = trace::generateSynthetic(pb, 15000);
+
+    std::vector<SweepTask> tasks = mixedTasks(a, b);
+    std::vector<SimStats> serial = core::runSweep(tasks, 1);
+    ASSERT_EQ(serial.size(), tasks.size());
+
+    for (unsigned jobs : {2u, 4u, 7u}) {
+        std::vector<SimStats> par = core::runSweep(tasks, jobs);
+        ASSERT_EQ(par.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(fingerprint(par[i]), fingerprint(serial[i]))
+                << "task " << i << " with " << jobs << " workers";
+    }
+}
+
+TEST(Sweep, MatchesDirectSimulation)
+{
+    trace::SyntheticParams sp;
+    sp.seed = 5;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 10000);
+
+    std::vector<uarch::SimConfig> configs = {
+        core::baseline8Way(), core::dependence8x8(),
+        core::clusteredDependence2x4()};
+    std::vector<SimStats> swept = core::runSweep(configs, buf, 3);
+
+    ASSERT_EQ(swept.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        trace::TraceCursor cur(buf);
+        SimStats direct = uarch::simulate(configs[i], cur);
+        EXPECT_EQ(fingerprint(swept[i]), fingerprint(direct))
+            << configs[i].name;
+    }
+}
+
+TEST(Sweep, CursorDoesNotDisturbOwningBuffer)
+{
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 1000);
+
+    // Partially consume the buffer's own cursor, run a simulation
+    // through a TraceCursor view, and check the buffer's position is
+    // untouched.
+    trace::TraceOp op;
+    ASSERT_TRUE(buf.next(op));
+    ASSERT_TRUE(buf.next(op));
+    const uint32_t third_pc = buf[2].pc;
+
+    trace::TraceCursor view(buf);
+    uarch::SimStats s = uarch::simulate(core::baseline8Way(), view);
+    EXPECT_EQ(s.committed, 1000u);
+
+    ASSERT_TRUE(buf.next(op));
+    EXPECT_EQ(op.pc, third_pc);
+}
+
+TEST(Sweep, MoreJobsThanTasks)
+{
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 5000);
+
+    std::vector<uarch::SimConfig> configs = {core::baseline8Way(),
+                                             core::dependence8x8()};
+    std::vector<SimStats> few = core::runSweep(configs, buf, 16);
+    std::vector<SimStats> one = core::runSweep(configs, buf, 1);
+    ASSERT_EQ(few.size(), 2u);
+    for (size_t i = 0; i < few.size(); ++i)
+        EXPECT_EQ(fingerprint(few[i]), fingerprint(one[i]));
+}
+
+TEST(Sweep, EmptyTaskList)
+{
+    std::vector<SweepTask> none;
+    EXPECT_TRUE(core::runSweep(none, 4).empty());
+}

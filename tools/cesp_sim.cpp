@@ -11,6 +11,11 @@
  *   cesp-sim --preset baseline --all-workloads --tech 0.18
  *   cesp-sim --preset clustered2x4 --asm my_kernel.s
  *   cesp-sim --preset baseline --synthetic 1000000 --window 32
+ *   cesp-sim --sweep --jobs 4
+ *
+ * Multi-simulation runs (--sweep, --all-workloads) execute on the
+ * parallel sweep engine; --jobs N picks the worker count (default:
+ * all hardware threads). Output is identical for any --jobs value.
  */
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
+#include "core/sweep.hpp"
 #include "trace/synthetic.hpp"
 #include "vlsi/clock.hpp"
 #include "workloads/workloads.hpp"
@@ -65,6 +71,10 @@ usage()
         "  --preset NAME          machine preset (default baseline)\n"
         "  --workload NAME        run a built-in benchmark\n"
         "  --all-workloads        run every built-in benchmark\n"
+        "  --sweep                run every preset over every "
+        "benchmark\n"
+        "  --jobs N               parallel simulations for "
+        "--sweep/--all-workloads\n"
         "  --asm FILE             assemble and run FILE\n"
         "  --synthetic N          run an N-instruction synthetic "
         "trace\n"
@@ -152,6 +162,8 @@ main(int argc, char **argv)
     std::string tech;
     uint64_t synthetic = 0;
     bool all = false;
+    bool sweep = false;
+    unsigned jobs = 0; // 0 = defaultJobs()
     bool verbose = false;
 
     struct Override
@@ -197,6 +209,11 @@ main(int argc, char **argv)
             synthetic = std::strtoull(next().c_str(), nullptr, 0);
         } else if (a == "--all-workloads") {
             all = true;
+        } else if (a == "--sweep") {
+            sweep = true;
+        } else if (a == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
         } else if (a == "--perfect-bpred") {
             perfect = true;
         } else if (a == "--verbose") {
@@ -217,24 +234,89 @@ main(int argc, char **argv)
         }
     }
 
+    auto applyOverrides = [&](uarch::SimConfig &c) {
+        if (window.set)
+            c.window_size = window.value;
+        if (fifos.set)
+            c.fifos_per_cluster = fifos.value;
+        if (depth.set)
+            c.fifo_depth = depth.value;
+        if (issue.set) {
+            c.issue_width = issue.value;
+            c.fetch_width = std::min(c.fetch_width, issue.value);
+            c.rename_width = c.fetch_width;
+        }
+        if (stages.set)
+            c.wakeup_select_stages = stages.value;
+        if (seed.set)
+            c.random_seed = static_cast<uint64_t>(seed.value);
+        c.bpred.perfect = perfect;
+        c.validate();
+    };
+
     uarch::SimConfig cfg = findPreset(preset);
-    if (window.set)
-        cfg.window_size = window.value;
-    if (fifos.set)
-        cfg.fifos_per_cluster = fifos.value;
-    if (depth.set)
-        cfg.fifo_depth = depth.value;
-    if (issue.set) {
-        cfg.issue_width = issue.value;
-        cfg.fetch_width = std::min(cfg.fetch_width, issue.value);
-        cfg.rename_width = cfg.fetch_width;
+    applyOverrides(cfg);
+
+    if (sweep) {
+        // Configuration sweep (the Fig. 13 comparison writ large):
+        // every preset — with any command-line overrides applied —
+        // over every built-in workload, or over one synthetic trace
+        // when --synthetic N is given. Workload traces resolve on
+        // the main thread (the cache is not thread-safe); the
+        // simulations fan out over the worker pool. The table is
+        // identical for every --jobs value.
+        std::vector<uarch::SimConfig> machines;
+        for (const auto &p : kPresets) {
+            uarch::SimConfig c = p.make();
+            applyOverrides(c);
+            machines.push_back(c);
+        }
+
+        trace::TraceBuffer synth;
+        std::vector<std::string> names;
+        std::vector<const trace::TraceBuffer *> traces;
+        if (synthetic > 0) {
+            trace::SyntheticParams sp;
+            sp.seed = machines[0].random_seed;
+            synth = trace::generateSynthetic(sp, synthetic);
+            names.push_back("synthetic");
+            traces.push_back(&synth);
+        } else {
+            for (const auto &w : workloads::allWorkloads()) {
+                names.push_back(w.name);
+                traces.push_back(&core::cachedWorkloadTrace(w.name));
+            }
+        }
+
+        std::vector<core::SweepTask> tasks;
+        for (const uarch::SimConfig &m : machines)
+            for (const trace::TraceBuffer *t : traces)
+                tasks.push_back({m, t});
+        std::vector<uarch::SimStats> stats =
+            core::runSweep(tasks, jobs);
+
+        Table t("Preset sweep: IPC per workload");
+        std::vector<std::string> hdr = {"preset"};
+        hdr.insert(hdr.end(), names.begin(), names.end());
+        hdr.push_back("mean");
+        t.header(hdr);
+        for (size_t m = 0; m < machines.size(); ++m) {
+            std::vector<std::string> row = {kPresets[m].name};
+            uint64_t instrs = 0, cycles = 0;
+            for (size_t w = 0; w < traces.size(); ++w) {
+                const uarch::SimStats &s =
+                    stats[m * traces.size() + w];
+                row.push_back(cell(s.ipc(), 3));
+                instrs += s.committed;
+                cycles += s.cycles;
+            }
+            row.push_back(cell(static_cast<double>(instrs) /
+                               static_cast<double>(cycles), 3));
+            t.row(row);
+        }
+        t.print();
+        return 0;
     }
-    if (stages.set)
-        cfg.wakeup_select_stages = stages.value;
-    if (seed.set)
-        cfg.random_seed = static_cast<uint64_t>(seed.value);
-    cfg.bpred.perfect = perfect;
-    cfg.validate();
 
     double clock_mhz = 0.0;
     if (!tech.empty()) {
@@ -269,12 +351,23 @@ main(int argc, char **argv)
     std::printf("machine: %s\n", cfg.name.c_str());
 
     if (all) {
+        // One task per benchmark, all on this machine; traces
+        // resolve here on the main thread.
+        std::vector<core::SweepTask> tasks;
+        std::vector<std::string> names;
+        for (const auto &w : workloads::allWorkloads()) {
+            names.push_back(w.name);
+            tasks.push_back({cfg, &core::cachedWorkloadTrace(w.name)});
+        }
+        std::vector<uarch::SimStats> stats =
+            core::runSweep(tasks, jobs);
+
         Table t("All workloads on " + cfg.name);
         t.header({"benchmark", "IPC", "mispredict %", "dcache miss %",
                   "x-cluster %"});
-        for (const auto &w : workloads::allWorkloads()) {
-            auto s = machine.runWorkload(w.name);
-            t.row({w.name, cell(s.ipc(), 3),
+        for (size_t i = 0; i < names.size(); ++i) {
+            const uarch::SimStats &s = stats[i];
+            t.row({names[i], cell(s.ipc(), 3),
                    cell(100.0 * s.mispredictRate()),
                    cell(100.0 * s.dcacheMissRate()),
                    cell(s.interClusterPct())});
