@@ -7,11 +7,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "asm/assembler.hpp"
+#include "common/logging.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
 #include "func/emulator.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/synthetic.hpp"
+#include "trace/tracefile.hpp"
 #include "uarch/pipeline.hpp"
 #include "vlsi/clock.hpp"
 #include "workloads/workloads.hpp"
@@ -153,5 +162,101 @@ BM_TimingSim_Clustered_LegacyScan(benchmark::State &state)
                                   uarch::IssueModel::LegacyScan));
 }
 BENCHMARK(BM_TimingSim_Clustered_LegacyScan);
+
+/**
+ * Trace-load startup cost for a cached 8-workload sweep: the work a
+ * harness process does before its first simulated cycle, measured
+ * over three generations of the trace cache. DecodeV1 reads and
+ * unpacks every record field-by-field (the pre-v2 cache format);
+ * Load freads a v2 payload in bulk and checksums it; Mmap maps the
+ * v2 file and verifies the CRC in place, copying nothing — that is
+ * what core::cachedWorkloadTraceView does on a warm cache. One file
+ * pair per pseudo-workload, written once.
+ */
+struct StartupFiles
+{
+    std::vector<std::string> v1, v2;
+};
+
+static const StartupFiles &
+startupTraceFiles()
+{
+    static const StartupFiles files = [] {
+        std::filesystem::path dir =
+            std::filesystem::temp_directory_path() /
+            strprintf("cesp-bench-traces-%d", getpid());
+        std::filesystem::create_directories(dir);
+        StartupFiles out;
+        for (uint64_t w = 0; w < 8; ++w) {
+            trace::SyntheticParams sp;
+            sp.seed = 100 + w;
+            trace::TraceBuffer buf =
+                trace::generateSynthetic(sp, 1000000);
+            std::string base =
+                (dir / strprintf("w%llu",
+                                 static_cast<unsigned long long>(w)))
+                    .string();
+            if (!trace::saveTraceV1(buf, base + ".v1.trc").ok() ||
+                !trace::saveTrace(buf, base + ".v2.trc").ok())
+                fatal("cannot write bench traces under %s",
+                      dir.c_str());
+            out.v1.push_back(base + ".v1.trc");
+            out.v2.push_back(base + ".v2.trc");
+        }
+        return out;
+    }();
+    return files;
+}
+
+static void
+loadStartupFiles(benchmark::State &state,
+                 const std::vector<std::string> &files)
+{
+    int64_t records = 0;
+    for (auto _ : state) {
+        records = 0;
+        for (const std::string &path : files) {
+            trace::TraceBuffer buf;
+            if (!trace::loadTrace(path, buf).ok())
+                fatal("bench trace unreadable: %s", path.c_str());
+            benchmark::DoNotOptimize(buf.ops().data());
+            records += static_cast<int64_t>(buf.size());
+        }
+        state.SetItemsProcessed(state.items_processed() + records);
+    }
+}
+
+static void
+BM_TraceStartup_DecodeV1(benchmark::State &state)
+{
+    loadStartupFiles(state, startupTraceFiles().v1);
+}
+BENCHMARK(BM_TraceStartup_DecodeV1)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TraceStartup_Load(benchmark::State &state)
+{
+    loadStartupFiles(state, startupTraceFiles().v2);
+}
+BENCHMARK(BM_TraceStartup_Load)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TraceStartup_Mmap(benchmark::State &state)
+{
+    const auto &files = startupTraceFiles().v2;
+    int64_t records = 0;
+    for (auto _ : state) {
+        records = 0;
+        for (const std::string &path : files) {
+            trace::MmapTraceSource src;
+            if (!src.open(path).ok())
+                fatal("bench trace unmappable: %s", path.c_str());
+            benchmark::DoNotOptimize(src.view().records);
+            records += static_cast<int64_t>(src.size());
+        }
+        state.SetItemsProcessed(state.items_processed() + records);
+    }
+}
+BENCHMARK(BM_TraceStartup_Mmap)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
@@ -29,15 +31,20 @@ main(int argc, char **argv)
     unsigned jobs = 0; // 0 = defaultJobs()
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        {
+            auto v = parseInt(argv[++i], 0, 65536);
+            if (!v)
+                fatal("invalid value '%s' for --jobs", argv[i]);
+            jobs = static_cast<unsigned>(*v);
+        }
 
     // Resolve the workload traces on the main thread (the cache is
     // not thread-safe), then build the full machine list: the ideal
     // 1-cluster reference plus every organization at every bypass
     // latency.
-    std::vector<const trace::TraceBuffer *> traces;
+    std::vector<trace::TraceView> traces;
     for (const auto &w : workloads::allWorkloads())
-        traces.push_back(&cachedWorkloadTrace(w.name));
+        traces.push_back(cachedWorkloadTraceView(w.name));
 
     std::vector<uarch::SimConfig> machines = {baseline8Way()};
     for (auto maker : {clusteredDependence2x4, clusteredWindows2x4,
@@ -51,7 +58,7 @@ main(int argc, char **argv)
 
     std::vector<SweepTask> tasks;
     for (const uarch::SimConfig &cfg : machines)
-        for (const trace::TraceBuffer *t : traces)
+        for (const trace::TraceView &t : traces)
             tasks.push_back({cfg, t});
     std::vector<uarch::SimStats> stats = runSweep(tasks, jobs);
 

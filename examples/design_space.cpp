@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
@@ -31,16 +33,22 @@ main(int argc, char **argv)
     unsigned jobs = 0; // 0 = defaultJobs()
     for (int i = 1; i < argc; ++i)
         if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        {
+            auto v = cesp::parseInt(argv[++i], 0, 65536);
+            if (!v)
+                cesp::fatal("invalid value '%s' for --jobs", argv[i]);
+            jobs = static_cast<unsigned>(*v);
+        }
 
     ClockEstimator est(Process::um0_18);
 
-    // The sweep engine wants resolved trace pointers, and the
-    // workload trace cache is not thread-safe, so warm it here on
-    // the main thread before any worker starts.
-    std::vector<const trace::TraceBuffer *> traces;
+    // The sweep engine wants resolved trace views, and the workload
+    // trace cache is not thread-safe, so warm it here on the main
+    // thread before any worker starts (mmap-backed when the disk
+    // cache has a valid v2 file — one page-cache copy per workload).
+    std::vector<trace::TraceView> traces;
     for (const auto &w : workloads::allWorkloads())
-        traces.push_back(&core::cachedWorkloadTrace(w.name));
+        traces.push_back(core::cachedWorkloadTraceView(w.name));
 
     struct Variant
     {
@@ -59,7 +67,7 @@ main(int argc, char **argv)
     // results[v * traces.size() + w] is variant v on workload w.
     std::vector<core::SweepTask> tasks;
     for (const Variant &v : variants)
-        for (const trace::TraceBuffer *t : traces)
+        for (const trace::TraceView &t : traces)
             tasks.push_back({v.cfg, t});
     std::vector<uarch::SimStats> stats = core::runSweep(tasks, jobs);
 

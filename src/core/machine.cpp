@@ -10,9 +10,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <memory>
 
 #include "common/logging.hpp"
 #include "func/emulator.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/tracefile.hpp"
 #include "workloads/workloads.hpp"
 
@@ -26,7 +28,10 @@ Machine::Machine(uarch::SimConfig cfg) : cfg_(std::move(cfg))
 uarch::SimStats
 Machine::runWorkload(const std::string &name) const
 {
-    return runTrace(cachedWorkloadTrace(name));
+    // A cursor over the cached view works for both backings and
+    // leaves the shared storage's position untouched.
+    trace::TraceCursor cursor(cachedWorkloadTraceView(name));
+    return runTrace(cursor);
 }
 
 uarch::SimStats
@@ -46,10 +51,23 @@ Machine::runTrace(trace::TraceSource &src) const
 
 namespace {
 
-std::map<std::string, trace::TraceBuffer> &
+/**
+ * One cached workload trace. Exactly one backing is primary: an
+ * mmap-backed entry has a live MmapTraceSource and (lazily, only if
+ * the legacy buffer-ref API is used) a materialized buffer copy; a
+ * buffer-backed entry owns its records outright.
+ */
+struct CachedTrace
+{
+    trace::TraceBuffer buf;
+    std::unique_ptr<trace::MmapTraceSource> mmap;
+    trace::TraceView view;
+};
+
+std::map<std::string, CachedTrace> &
 traceCache()
 {
-    static std::map<std::string, trace::TraceBuffer> cache;
+    static std::map<std::string, CachedTrace> cache;
     return cache;
 }
 
@@ -87,42 +105,111 @@ diskCacheDir()
     return dir;
 }
 
-/** Load from / save to the disk cache; regenerate on any miss. */
-trace::TraceBuffer
+/**
+ * Write @p buf to the cache file via write-then-rename (so parallel
+ * harnesses never observe a half-written file), propagating any
+ * write/flush/close failure. On failure the temporary is removed and
+ * the published file is untouched.
+ */
+bool
+publishTrace(const trace::TraceBuffer &buf,
+             const std::filesystem::path &file)
+{
+    std::filesystem::path tmp =
+        file.string() + strprintf(".%d.tmp", getpid());
+    trace::TraceIoResult saved = trace::saveTrace(buf, tmp.string());
+    std::error_code ec;
+    if (!saved.ok()) {
+        warn("trace cache: not publishing %s: %s (%s)",
+             file.string().c_str(),
+             trace::traceIoStatusName(saved.status),
+             saved.detail.c_str());
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    std::filesystem::rename(tmp, file, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Resolve a workload's trace: mmap the disk cache's v2 file when it
+ * verifies, upgrade a v1 file in place, and otherwise regenerate
+ * (logging why the cached file was rejected) and republish.
+ */
+CachedTrace
 obtainTrace(const workloads::Workload &w)
 {
+    CachedTrace entry;
     std::filesystem::path dir = diskCacheDir();
     std::filesystem::path file;
     if (!dir.empty()) {
         file = dir / strprintf("%s-%016llx.trc", w.name.c_str(),
                                static_cast<unsigned long long>(
                                    sourceHash(w.source)));
-        trace::TraceBuffer cached;
-        if (trace::loadTrace(file.string(), cached))
-            return cached;
+        auto mmap = std::make_unique<trace::MmapTraceSource>();
+        trace::TraceIoResult opened = mmap->open(file.string());
+        if (opened.ok()) {
+            entry.view = mmap->view();
+            entry.mmap = std::move(mmap);
+            return entry;
+        }
+        if (opened.status == trace::TraceIoStatus::LegacyVersion) {
+            // A valid v1 file: decode it once, republish as v2, and
+            // serve the mapping so later processes share pages.
+            trace::TraceBuffer upgraded;
+            trace::TraceIoResult loaded =
+                trace::loadTrace(file.string(), upgraded);
+            if (loaded.ok()) {
+                inform("trace cache: upgrading %s to v2",
+                       file.string().c_str());
+                if (publishTrace(upgraded, file) &&
+                    mmap->open(file.string()).ok()) {
+                    entry.view = mmap->view();
+                    entry.mmap = std::move(mmap);
+                    return entry;
+                }
+                entry.buf = std::move(upgraded);
+                entry.view = entry.buf;
+                return entry;
+            }
+            warn("trace cache: %s: %s (%s); regenerating",
+                 file.string().c_str(),
+                 trace::traceIoStatusName(loaded.status),
+                 loaded.detail.c_str());
+        } else if (opened.status != trace::TraceIoStatus::OpenFailed) {
+            // Missing file is the normal cold-cache case and stays
+            // quiet; anything else is a corrupt or foreign file and
+            // says exactly what was wrong before we fall back.
+            warn("trace cache: %s: %s (%s); regenerating",
+                 file.string().c_str(),
+                 trace::traceIoStatusName(opened.status),
+                 opened.detail.c_str());
+        }
     }
 
     trace::TraceBuffer buf = workloads::traceOf(w);
 
-    if (!file.empty()) {
-        // Write-then-rename keeps parallel harnesses from reading a
-        // half-written file.
-        std::filesystem::path tmp =
-            file.string() + strprintf(".%d.tmp", getpid());
-        if (trace::saveTrace(buf, tmp.string())) {
-            std::error_code ec;
-            std::filesystem::rename(tmp, file, ec);
-            if (ec)
-                std::filesystem::remove(tmp, ec);
+    if (!file.empty() && publishTrace(buf, file)) {
+        // Prefer serving the published file: the mapping's pages are
+        // shared with every other process simulating this workload.
+        auto mmap = std::make_unique<trace::MmapTraceSource>();
+        if (mmap->open(file.string()).ok()) {
+            entry.view = mmap->view();
+            entry.mmap = std::move(mmap);
+            return entry;
         }
     }
-    return buf;
+    entry.buf = std::move(buf);
+    entry.view = entry.buf;
+    return entry;
 }
 
-} // namespace
-
-trace::TraceBuffer &
-cachedWorkloadTrace(const std::string &name)
+CachedTrace &
+cacheEntry(const std::string &name)
 {
     auto &cache = traceCache();
     auto it = cache.find(name);
@@ -133,6 +220,28 @@ cachedWorkloadTrace(const std::string &name)
                  .first;
     }
     return it->second;
+}
+
+} // namespace
+
+trace::TraceView
+cachedWorkloadTraceView(const std::string &name)
+{
+    return cacheEntry(name).view;
+}
+
+trace::TraceBuffer &
+cachedWorkloadTrace(const std::string &name)
+{
+    CachedTrace &entry = cacheEntry(name);
+    if (entry.mmap && entry.buf.empty() && entry.mmap->size()) {
+        // Legacy API against an mmap-backed entry: materialize a
+        // private copy once. The entry's view stays on the mapping.
+        std::vector<trace::TraceOp> ops(
+            entry.view.records, entry.view.records + entry.view.count);
+        entry.buf.assign(std::move(ops));
+    }
+    return entry.buf;
 }
 
 void

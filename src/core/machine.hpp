@@ -47,12 +47,32 @@ class Machine
 
 /**
  * Process-wide cache of workload traces: generating a trace runs the
- * functional emulator, so harnesses comparing many configurations over
- * the same benchmarks reuse the buffer.
+ * functional emulator, so harnesses comparing many configurations
+ * over the same benchmarks reuse one copy per workload.
+ *
+ * Backing storage depends on the cross-process disk cache
+ * (CESP_TRACE_CACHE; see DESIGN.md §6). When a valid v2 file is on
+ * disk the entry is served by an MmapTraceSource — records come
+ * straight from the page cache, shared with every other process
+ * mapping the same file, with zero decode. When the disk cache is
+ * disabled, missing, or fails integrity checks (each failure is
+ * logged with its distinct cause), the trace regenerates into a
+ * private buffer and — where possible — is republished to disk and
+ * remapped. Not thread-safe: resolve views on the calling thread
+ * before handing them to sweep workers (the view stays valid until
+ * clearTraceCache()).
+ */
+trace::TraceView cachedWorkloadTraceView(const std::string &name);
+
+/**
+ * Legacy buffer-ref accessor. If the cache entry is mmap-backed,
+ * this materializes a private TraceBuffer copy on first use — prefer
+ * cachedWorkloadTraceView, which is zero-copy in that case.
  */
 trace::TraceBuffer &cachedWorkloadTrace(const std::string &name);
 
-/** Drop all cached traces (frees tens of MB). */
+/** Drop all cached traces and mappings (frees tens of MB);
+ *  invalidates every view previously returned. */
 void clearTraceCache();
 
 } // namespace cesp::core

@@ -5,7 +5,9 @@
 
 #include "core/sweep.hpp"
 
+#include <atomic>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -53,13 +55,21 @@ struct WorkerQueue
 };
 
 void
-runTask(const SweepTask &t, uarch::SimStats &out)
+runTask(const SweepTask &t, size_t index, uarch::SimStats &out)
 {
-    trace::TraceCursor cursor(*t.trace);
+    if (detail::sweep_task_hook)
+        detail::sweep_task_hook(index);
+    trace::TraceCursor cursor(t.trace);
     out = uarch::simulate(t.cfg, cursor);
 }
 
 } // namespace
+
+namespace detail {
+
+void (*sweep_task_hook)(size_t task_index) = nullptr;
+
+} // namespace detail
 
 unsigned
 defaultJobs()
@@ -72,7 +82,7 @@ std::vector<uarch::SimStats>
 runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
 {
     for (const SweepTask &t : tasks) {
-        if (!t.trace)
+        if (!t.trace.records && t.trace.count)
             panic("runSweep: task with null trace");
         t.cfg.validate();
     }
@@ -85,7 +95,7 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
 
     if (jobs <= 1) {
         for (size_t i = 0; i < tasks.size(); ++i)
-            runTask(tasks[i], results[i]);
+            runTask(tasks[i], i, results[i]);
         return results;
     }
 
@@ -100,11 +110,32 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
     for (size_t i = 0; i < tasks.size(); ++i)
         queues[i % jobs]->tasks.push_back(i);
 
+    // A throw inside a worker must not unwind off the thread (that
+    // is std::terminate): the first exception is captured, every
+    // worker keeps draining its deques without simulating — so the
+    // pool winds down promptly instead of finishing hours of doomed
+    // work — and the caller rethrows after the join.
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
     auto worker = [&](unsigned self) {
+        auto run = [&](size_t idx) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                runTask(tasks[idx], idx, results[idx]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        };
         size_t idx;
         for (;;) {
             if (queues[self]->popOwn(idx)) {
-                runTask(tasks[idx], results[idx]);
+                run(idx);
                 continue;
             }
             bool stole = false;
@@ -112,7 +143,7 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
                 stole = queues[(self + off) % jobs]->steal(idx);
             if (!stole)
                 return;
-            runTask(tasks[idx], results[idx]);
+            run(idx);
         }
     };
 
@@ -122,17 +153,19 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
         pool.emplace_back(worker, w);
     for (std::thread &t : pool)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
     return results;
 }
 
 std::vector<uarch::SimStats>
 runSweep(const std::vector<uarch::SimConfig> &configs,
-         const trace::TraceBuffer &trace, unsigned jobs)
+         trace::TraceView trace, unsigned jobs)
 {
     std::vector<SweepTask> tasks;
     tasks.reserve(configs.size());
     for (const uarch::SimConfig &cfg : configs)
-        tasks.push_back({cfg, &trace});
+        tasks.push_back({cfg, trace});
     return runSweep(tasks, jobs);
 }
 

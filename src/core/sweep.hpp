@@ -30,11 +30,13 @@ namespace cesp::core {
 
 /** One simulation in a sweep. The trace is shared, not owned, and
  *  must outlive the runSweep call; workers read it through private
- *  TraceCursors. */
+ *  TraceCursors. A TraceView converts implicitly from a TraceBuffer
+ *  and from an MmapTraceSource, so tasks can mix buffer-backed and
+ *  mmap-backed traces freely. */
 struct SweepTask
 {
     uarch::SimConfig cfg;
-    const trace::TraceBuffer *trace = nullptr;
+    trace::TraceView trace;
 };
 
 /** Worker count used when jobs == 0: the hardware concurrency, or 1
@@ -48,6 +50,11 @@ unsigned defaultJobs();
  * so uneven task lengths (a 16-way machine next to a 2-way one)
  * still load-balance. jobs == 0 means defaultJobs(), jobs == 1 runs
  * inline on the calling thread.
+ *
+ * If a simulation throws, the first exception (in discovery order)
+ * is captured, the remaining tasks are drained without running, all
+ * workers join, and the exception is rethrown on the calling thread
+ * — a worker-side throw never reaches std::terminate.
  */
 std::vector<uarch::SimStats> runSweep(const std::vector<SweepTask> &tasks,
                                       unsigned jobs = 0);
@@ -55,7 +62,19 @@ std::vector<uarch::SimStats> runSweep(const std::vector<SweepTask> &tasks,
 /** Convenience: every configuration over one shared trace. */
 std::vector<uarch::SimStats>
 runSweep(const std::vector<uarch::SimConfig> &configs,
-         const trace::TraceBuffer &trace, unsigned jobs = 0);
+         trace::TraceView trace, unsigned jobs = 0);
+
+namespace detail {
+
+/**
+ * Test-only fault injection: when non-null, called with each task's
+ * index just before that task simulates (on the worker thread that
+ * runs it). The exception-propagation tests use this to make a
+ * specific task throw; production code leaves it null.
+ */
+extern void (*sweep_task_hook)(size_t task_index);
+
+} // namespace detail
 
 } // namespace cesp::core
 

@@ -11,7 +11,9 @@
 #ifndef CESP_TRACE_TRACE_HPP
 #define CESP_TRACE_TRACE_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "isa/isa.hpp"
@@ -31,6 +33,9 @@ struct TraceOp
     int8_t src2 = -1;
     uint8_t mem_size = 0;   //!< access size in bytes (loads/stores)
     bool taken = false;     //!< branch outcome (true for taken)
+    uint8_t pad = 0;        //!< explicit zero so the record has no
+                            //!< indeterminate bytes (v2 files CRC the
+                            //!< raw in-memory layout)
 
     bool
     hasDst() const
@@ -47,6 +52,27 @@ struct TraceOp
         return cls == isa::OpClass::BranchCond;
     }
 };
+
+// The v2 trace file format stores TraceOp's in-memory layout
+// verbatim (one 20-byte record per dynamic instruction), so reading
+// is a pointer cast instead of a decode pass. Pin the layout here:
+// if a field is added or reordered, these fire and the format
+// version must be bumped.
+static_assert(sizeof(TraceOp) == 20, "trace record layout changed");
+static_assert(std::is_trivially_copyable_v<TraceOp>,
+              "trace records must be raw-copyable");
+static_assert(offsetof(TraceOp, pc) == 0 &&
+              offsetof(TraceOp, next_pc) == 4 &&
+              offsetof(TraceOp, mem_addr) == 8 &&
+              offsetof(TraceOp, op) == 12 &&
+              offsetof(TraceOp, cls) == 13 &&
+              offsetof(TraceOp, dst) == 14 &&
+              offsetof(TraceOp, src1) == 15 &&
+              offsetof(TraceOp, src2) == 16 &&
+              offsetof(TraceOp, mem_size) == 17 &&
+              offsetof(TraceOp, taken) == 18 &&
+              offsetof(TraceOp, pad) == 19,
+              "trace record layout changed");
 
 /** Consumer interface for dynamic instructions. */
 class TraceSink
@@ -90,6 +116,15 @@ class TraceBuffer : public TraceSink, public TraceSource
 
     void rewind() override { pos_ = 0; }
 
+    /** Replace the contents wholesale (bulk-load path: file I/O
+     *  reads records straight into a vector, no append loop). */
+    void
+    assign(std::vector<TraceOp> ops)
+    {
+        ops_ = std::move(ops);
+        pos_ = 0;
+    }
+
     size_t size() const { return ops_.size(); }
     bool empty() const { return ops_.empty(); }
     const TraceOp &operator[](size_t i) const { return ops_[i]; }
@@ -101,32 +136,57 @@ class TraceBuffer : public TraceSink, public TraceSource
 };
 
 /**
- * Read-only cursor over a TraceBuffer someone else owns. A
- * TraceBuffer is itself a TraceSource, but its cursor is part of the
- * buffer, so two simulations cannot share one buffer concurrently.
- * Each TraceCursor carries its own position and only reads the
- * underlying storage — any number of cursors may walk the same
- * buffer from different threads, which is what the sweep runner
- * does.
+ * Non-owning view of a contiguous run of trace records. This is the
+ * common currency between the two shared-trace storage kinds — a
+ * TraceBuffer's vector and an MmapTraceSource's file mapping — and
+ * what the sweep runner passes around: a view is two words, freely
+ * copyable, and many simulations can read through one concurrently.
+ * The storage behind the view must stay alive (and must not
+ * reallocate: don't append to a TraceBuffer while views of it are
+ * live) for as long as the view is used.
+ */
+struct TraceView
+{
+    const TraceOp *records = nullptr;
+    size_t count = 0;
+
+    TraceView() = default;
+    TraceView(const TraceOp *r, size_t n) : records(r), count(n) {}
+    /*implicit*/ TraceView(const TraceBuffer &buf)
+        : records(buf.ops().data()), count(buf.size())
+    {
+    }
+
+    bool empty() const { return count == 0; }
+    const TraceOp &operator[](size_t i) const { return records[i]; }
+};
+
+/**
+ * Read-only cursor over records someone else owns. A TraceBuffer is
+ * itself a TraceSource, but its cursor is part of the buffer, so two
+ * simulations cannot share one buffer concurrently. Each TraceCursor
+ * carries its own position and only reads the underlying storage —
+ * any number of cursors may walk the same view from different
+ * threads, which is what the sweep runner does.
  */
 class TraceCursor : public TraceSource
 {
   public:
-    explicit TraceCursor(const TraceBuffer &buf) : buf_(buf) {}
+    explicit TraceCursor(TraceView view) : view_(view) {}
 
     bool
     next(TraceOp &out) override
     {
-        if (pos_ >= buf_.size())
+        if (pos_ >= view_.count)
             return false;
-        out = buf_[pos_++];
+        out = view_[pos_++];
         return true;
     }
 
     void rewind() override { pos_ = 0; }
 
   private:
-    const TraceBuffer &buf_;
+    TraceView view_;
     size_t pos_ = 0;
 };
 

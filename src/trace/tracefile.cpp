@@ -1,22 +1,29 @@
 /**
  * @file
- * Implementation of the binary trace file format.
+ * Implementation of the binary trace file formats (v1 read/write,
+ * v2 read/write, shared v2 validation used by MmapTraceSource).
  */
 
 #include "trace/tracefile.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
+
 namespace cesp::trace {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'E', 'S', 'P', 'T', 'R', 'C', '1'};
-constexpr size_t kRecordBytes = 20;
+constexpr char kMagicV1[8] = {'C', 'E', 'S', 'P', 'T', 'R', 'C', '1'};
+constexpr char kMagicV2[8] = {'C', 'E', 'S', 'P', 'T', 'R', 'C', '2'};
+constexpr bool kLittleEndian =
+    std::endian::native == std::endian::little;
 
 void
 put32(uint8_t *p, uint32_t v)
@@ -34,6 +41,32 @@ get32(const uint8_t *p)
         (static_cast<uint32_t>(p[1]) << 8) |
         (static_cast<uint32_t>(p[2]) << 16) |
         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void
+put64(uint8_t *p, uint64_t v)
+{
+    put32(p, static_cast<uint32_t>(v));
+    put32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    return get32(p) | (static_cast<uint64_t>(get32(p + 4)) << 32);
+}
+
+/**
+ * True if the record's enum bytes are in range. The CRC proves a v2
+ * payload holds the bytes the writer produced, but a writer bug (or
+ * a file from a future opcode set) could still smuggle an impossible
+ * instruction into the simulator; this is the last gate.
+ */
+bool
+recordValid(const uint8_t *p)
+{
+    return p[12] < static_cast<uint8_t>(isa::Opcode::NUM_OPCODES) &&
+        p[13] <= static_cast<uint8_t>(isa::OpClass::Nop);
 }
 
 void
@@ -55,11 +88,11 @@ pack(const TraceOp &op, uint8_t *p)
 bool
 unpack(const uint8_t *p, TraceOp &op)
 {
+    if (!recordValid(p))
+        return false;
     op.pc = get32(p);
     op.next_pc = get32(p + 4);
     op.mem_addr = get32(p + 8);
-    if (p[12] >= static_cast<uint8_t>(isa::Opcode::NUM_OPCODES))
-        return false;
     op.op = static_cast<isa::Opcode>(p[12]);
     op.cls = static_cast<isa::OpClass>(p[13]);
     op.dst = static_cast<int8_t>(p[14]);
@@ -67,6 +100,7 @@ unpack(const uint8_t *p, TraceOp &op)
     op.src2 = static_cast<int8_t>(p[16]);
     op.mem_size = p[17];
     op.taken = p[18] != 0;
+    op.pad = 0;
     return true;
 }
 
@@ -80,75 +114,315 @@ struct FileCloser
     }
 };
 
+TraceIoResult
+fail(TraceIoStatus status, std::string detail)
+{
+    return {status, std::move(detail)};
+}
+
+/**
+ * Flush and close a stream we wrote, reporting the failure mode:
+ * this is where a full disk finally surfaces when every fwrite
+ * landed in stdio's buffer.
+ */
+TraceIoResult
+finishWrite(std::FILE *f, const std::string &path)
+{
+    if (std::fflush(f) != 0) {
+        std::fclose(f);
+        return fail(TraceIoStatus::FlushFailed,
+                    path + ": fflush failed");
+    }
+    if (std::fclose(f) != 0)
+        return fail(TraceIoStatus::CloseFailed,
+                    path + ": fclose failed");
+    return traceIoOk();
+}
+
+/** Serialize the trace as v2 payload bytes (big-endian hosts only). */
+std::vector<uint8_t>
+packPayload(const TraceBuffer &buf)
+{
+    std::vector<uint8_t> bytes(buf.size() * kTraceRecordBytes);
+    for (size_t i = 0; i < buf.size(); ++i)
+        pack(buf[i], bytes.data() + i * kTraceRecordBytes);
+    return bytes;
+}
+
+TraceIoResult
+loadTraceV1(std::FILE *f, const uint8_t *header,
+            const std::string &path, TraceBuffer &out)
+{
+    uint64_t count = get64(header + 8);
+
+    TraceBuffer result;
+    std::vector<uint8_t> block(kTraceRecordBytes * 4096);
+    uint64_t remaining = count;
+    while (remaining > 0) {
+        size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(4096, remaining));
+        if (std::fread(block.data(), kTraceRecordBytes, chunk, f) !=
+            chunk)
+            return fail(TraceIoStatus::ShortRead,
+                        path + ": v1 payload truncated");
+        for (size_t j = 0; j < chunk; ++j) {
+            TraceOp op;
+            if (!unpack(block.data() + j * kTraceRecordBytes, op))
+                return fail(TraceIoStatus::BadRecord,
+                            path + ": v1 record out of range");
+            result.append(op);
+        }
+        remaining -= chunk;
+    }
+    if (std::fgetc(f) != EOF)
+        return fail(TraceIoStatus::CountMismatch,
+                    path + ": bytes beyond the v1 record count");
+    out = std::move(result);
+    out.rewind();
+    return traceIoOk();
+}
+
+TraceIoResult
+loadTraceV2(std::FILE *f, const uint8_t *header,
+            const std::string &path, TraceBuffer &out)
+{
+    uint64_t count = 0;
+    uint32_t crc = 0;
+    TraceIoResult hdr = detail::parseV2Header(header, path, count,
+                                              crc);
+    if (!hdr.ok())
+        return hdr;
+
+    // Bound the allocation by the actual file size before trusting
+    // the header's count: a fabricated huge count must surface as a
+    // truncated-payload failure, not a bad_alloc.
+    long here = std::ftell(f);
+    if (here >= 0 && std::fseek(f, 0, SEEK_END) == 0) {
+        long end = std::ftell(f);
+        std::fseek(f, here, SEEK_SET);
+        uint64_t avail = end > here
+            ? static_cast<uint64_t>(end - here) : 0;
+        if (count > avail / kTraceRecordBytes)
+            return fail(TraceIoStatus::ShortRead,
+                        path + ": v2 payload truncated");
+    }
+
+    std::vector<TraceOp> records(count);
+    size_t payload_bytes = count * kTraceRecordBytes;
+    if (count &&
+        std::fread(records.data(), 1, payload_bytes, f) !=
+            payload_bytes)
+        return fail(TraceIoStatus::ShortRead,
+                    path + ": v2 payload truncated");
+    if (std::fgetc(f) != EOF)
+        return fail(TraceIoStatus::CountMismatch,
+                    path + ": bytes beyond the v2 record count");
+
+    if constexpr (kLittleEndian) {
+        TraceIoResult ok = detail::verifyV2Payload(
+            reinterpret_cast<const uint8_t *>(records.data()), count,
+            crc, path);
+        if (!ok.ok())
+            return ok;
+    } else {
+        // The file bytes are the little-endian layout; checksum them
+        // as read, then decode each record into native order.
+        const uint8_t *raw =
+            reinterpret_cast<const uint8_t *>(records.data());
+        TraceIoResult ok =
+            detail::verifyV2Payload(raw, count, crc, path);
+        if (!ok.ok())
+            return ok;
+        std::vector<uint8_t> bytes(raw, raw + payload_bytes);
+        for (size_t i = 0; i < count; ++i)
+            unpack(bytes.data() + i * kTraceRecordBytes, records[i]);
+    }
+
+    TraceBuffer result;
+    result.assign(std::move(records));
+    out = std::move(result);
+    out.rewind();
+    return traceIoOk();
+}
+
 } // namespace
 
-bool
+namespace detail {
+
+TraceIoResult
+parseV2Header(const uint8_t *header, const std::string &path,
+              uint64_t &count_out, uint32_t &crc_out)
+{
+    if (std::memcmp(header, kMagicV2, sizeof(kMagicV2)) != 0)
+        return fail(TraceIoStatus::BadMagic, path + ": not a v2 header");
+    uint32_t record_bytes = get32(header + 16);
+    if (record_bytes != kTraceRecordBytes)
+        return fail(TraceIoStatus::BadRecordSize,
+                    path + ": record size " +
+                        std::to_string(record_bytes) + " != " +
+                        std::to_string(kTraceRecordBytes));
+    count_out = get64(header + 8);
+    crc_out = get32(header + 20);
+    return traceIoOk();
+}
+
+TraceIoResult
+verifyV2Payload(const uint8_t *payload, uint64_t count,
+                uint32_t expect_crc, const std::string &path)
+{
+    // Checksum and record validation interleave in blocks small
+    // enough to stay cache-resident, so a multi-hundred-MB payload
+    // streams from memory once, not twice. The chained-seed CRC of
+    // the blocks equals the one-shot CRC of the whole payload.
+    constexpr uint64_t kBlockRecords = 8192; // 160 KB per block
+    uint32_t actual = 0;
+    uint64_t bad_record = UINT64_MAX;
+    for (uint64_t base = 0; base < count; base += kBlockRecords) {
+        uint64_t n = std::min(kBlockRecords, count - base);
+        actual = crc32(payload + base * kTraceRecordBytes,
+                       n * kTraceRecordBytes, actual);
+        if (bad_record != UINT64_MAX)
+            continue;
+        for (uint64_t i = base; i < base + n; ++i) {
+            if (!recordValid(payload + i * kTraceRecordBytes)) {
+                bad_record = i;
+                break;
+            }
+        }
+    }
+    // The CRC verdict comes first: if the bytes aren't the writer's
+    // bytes, a "record out of range" would blame the wrong layer.
+    if (actual != expect_crc)
+        return fail(TraceIoStatus::CrcMismatch,
+                    path + ": payload CRC " + strprintf("%08x", actual) +
+                        " != header CRC " +
+                        strprintf("%08x", expect_crc));
+    if (bad_record != UINT64_MAX)
+        return fail(TraceIoStatus::BadRecord,
+                    path + ": record " + std::to_string(bad_record) +
+                        " out of range");
+    return traceIoOk();
+}
+
+} // namespace detail
+
+const char *
+traceIoStatusName(TraceIoStatus s)
+{
+    switch (s) {
+      case TraceIoStatus::Ok: return "ok";
+      case TraceIoStatus::OpenFailed: return "open-failed";
+      case TraceIoStatus::ShortWrite: return "short-write";
+      case TraceIoStatus::FlushFailed: return "flush-failed";
+      case TraceIoStatus::CloseFailed: return "close-failed";
+      case TraceIoStatus::ShortRead: return "short-read";
+      case TraceIoStatus::BadMagic: return "bad-magic";
+      case TraceIoStatus::LegacyVersion: return "legacy-version";
+      case TraceIoStatus::BadRecordSize: return "bad-record-size";
+      case TraceIoStatus::CountMismatch: return "count-mismatch";
+      case TraceIoStatus::CrcMismatch: return "crc-mismatch";
+      case TraceIoStatus::BadRecord: return "bad-record";
+      case TraceIoStatus::MmapFailed: return "mmap-failed";
+      case TraceIoStatus::Unsupported: return "unsupported";
+    }
+    return "unknown";
+}
+
+TraceIoResult
 saveTrace(const TraceBuffer &buf, const std::string &path)
 {
-    std::unique_ptr<std::FILE, FileCloser> f(
-        std::fopen(path.c_str(), "wb"));
+    std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        return false;
+        return fail(TraceIoStatus::OpenFailed,
+                    path + ": cannot open for writing");
+
+    const uint8_t *payload;
+    std::vector<uint8_t> packed;
+    size_t payload_bytes = buf.size() * kTraceRecordBytes;
+    if constexpr (kLittleEndian) {
+        // The in-memory records are the file payload; no serialize
+        // pass at all.
+        payload = reinterpret_cast<const uint8_t *>(buf.ops().data());
+    } else {
+        packed = packPayload(buf);
+        payload = packed.data();
+    }
+
+    uint8_t header[kTraceV2HeaderBytes] = {};
+    std::memcpy(header, kMagicV2, sizeof(kMagicV2));
+    put64(header + 8, buf.size());
+    put32(header + 16, kTraceRecordBytes);
+    put32(header + 20, crc32(payload, payload_bytes));
+
+    if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header) ||
+        (payload_bytes &&
+         std::fwrite(payload, 1, payload_bytes, f) != payload_bytes)) {
+        std::fclose(f);
+        return fail(TraceIoStatus::ShortWrite,
+                    path + ": short write");
+    }
+    return finishWrite(f, path);
+}
+
+TraceIoResult
+saveTraceV1(const TraceBuffer &buf, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return fail(TraceIoStatus::OpenFailed,
+                    path + ": cannot open for writing");
 
     uint8_t header[16] = {};
-    std::memcpy(header, kMagic, sizeof(kMagic));
-    put32(header + 8, static_cast<uint32_t>(buf.size()));
-    put32(header + 12, static_cast<uint32_t>(buf.size() >> 32));
-    if (std::fwrite(header, 1, sizeof(header), f.get()) !=
-        sizeof(header))
-        return false;
+    std::memcpy(header, kMagicV1, sizeof(kMagicV1));
+    put64(header + 8, buf.size());
+    if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
+        std::fclose(f);
+        return fail(TraceIoStatus::ShortWrite, path + ": short write");
+    }
 
-    std::vector<uint8_t> block(kRecordBytes * 4096);
+    std::vector<uint8_t> block(kTraceRecordBytes * 4096);
     size_t i = 0;
     while (i < buf.size()) {
         size_t chunk = std::min<size_t>(4096, buf.size() - i);
         for (size_t j = 0; j < chunk; ++j)
-            pack(buf[i + j], block.data() + j * kRecordBytes);
-        if (std::fwrite(block.data(), kRecordBytes, chunk, f.get()) !=
-            chunk)
-            return false;
+            pack(buf[i + j], block.data() + j * kTraceRecordBytes);
+        if (std::fwrite(block.data(), kTraceRecordBytes, chunk, f) !=
+            chunk) {
+            std::fclose(f);
+            return fail(TraceIoStatus::ShortWrite,
+                        path + ": short write");
+        }
         i += chunk;
     }
-    return true;
+    return finishWrite(f, path);
 }
 
-bool
+TraceIoResult
 loadTrace(const std::string &path, TraceBuffer &out)
 {
     std::unique_ptr<std::FILE, FileCloser> f(
         std::fopen(path.c_str(), "rb"));
     if (!f)
-        return false;
+        return fail(TraceIoStatus::OpenFailed,
+                    path + ": cannot open for reading");
 
-    uint8_t header[16];
-    if (std::fread(header, 1, sizeof(header), f.get()) !=
-        sizeof(header))
-        return false;
-    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
-        return false;
-    uint64_t count = get32(header + 8) |
-        (static_cast<uint64_t>(get32(header + 12)) << 32);
-
-    TraceBuffer result;
-    std::vector<uint8_t> block(kRecordBytes * 4096);
-    uint64_t remaining = count;
-    while (remaining > 0) {
-        size_t chunk = static_cast<size_t>(
-            std::min<uint64_t>(4096, remaining));
-        if (std::fread(block.data(), kRecordBytes, chunk, f.get()) !=
-            chunk)
-            return false;
-        for (size_t j = 0; j < chunk; ++j) {
-            TraceOp op;
-            if (!unpack(block.data() + j * kRecordBytes, op))
-                return false;
-            result.append(op);
-        }
-        remaining -= chunk;
-    }
-    out = std::move(result);
-    out.rewind();
-    return true;
+    // Both versions' headers begin with the 8-byte magic and an
+    // 8-byte record count; read the first 16 bytes to dispatch, then
+    // the rest of the v2 header if needed.
+    uint8_t header[kTraceV2HeaderBytes];
+    if (std::fread(header, 1, 16, f.get()) != 16)
+        return fail(TraceIoStatus::ShortRead,
+                    path + ": header truncated");
+    if (std::memcmp(header, kMagicV1, sizeof(kMagicV1)) == 0)
+        return loadTraceV1(f.get(), header, path, out);
+    if (std::memcmp(header, kMagicV2, sizeof(kMagicV2)) != 0)
+        return fail(TraceIoStatus::BadMagic,
+                    path + ": unrecognized magic");
+    if (std::fread(header + 16, 1, kTraceV2HeaderBytes - 16,
+                   f.get()) != kTraceV2HeaderBytes - 16)
+        return fail(TraceIoStatus::ShortRead,
+                    path + ": v2 header truncated");
+    return loadTraceV2(f.get(), header, path, out);
 }
 
 } // namespace cesp::trace

@@ -6,27 +6,123 @@
  * binaries; a versioned on-disk format lets harnesses share captured
  * traces (see core::cachedWorkloadTrace's disk cache).
  *
- * Format: 16-byte header (magic "CESPTRC1", record count), then one
- * packed 20-byte little-endian record per dynamic instruction.
+ * Two format versions exist:
+ *
+ *  - v1 ("CESPTRC1"): 16-byte header (magic, record count), then one
+ *    packed 20-byte little-endian record per dynamic instruction.
+ *    Read-only legacy format; no checksum.
+ *  - v2 ("CESPTRC2"): 32-byte header (magic, record count, record
+ *    size, CRC-32 of the payload), then the payload — TraceOp's
+ *    in-memory layout verbatim, 20 bytes per record. Because the
+ *    file layout IS the memory layout, a v2 file can be
+ *    memory-mapped and served with zero decode and zero copy (see
+ *    MmapTraceSource); the CRC lets every reader prove the payload
+ *    intact before a simulation consumes it.
+ *
+ * All I/O reports failures as a TraceIoResult instead of a bare
+ * bool: short writes, a failed flush or close (the way a full disk
+ * actually surfaces), bad magic, a bad checksum, and a count/size
+ * mismatch are distinct outcomes, so callers can log what happened
+ * and fall back to regeneration.
  */
 
 #ifndef CESP_TRACE_TRACEFILE_HPP
 #define CESP_TRACE_TRACEFILE_HPP
 
+#include <cstdint>
 #include <string>
 
 #include "trace/trace.hpp"
 
 namespace cesp::trace {
 
-/** Write a trace to @p path; false on I/O error. */
-bool saveTrace(const TraceBuffer &buf, const std::string &path);
+/** Why a trace file operation failed (Ok when it didn't). */
+enum class TraceIoStatus
+{
+    Ok,
+    OpenFailed,     //!< cannot open the file at all
+    ShortWrite,     //!< fwrite wrote fewer bytes than asked
+    FlushFailed,    //!< fflush reported an error
+    CloseFailed,    //!< fclose reported an error (buffered data lost)
+    ShortRead,      //!< file ends before header/payload does
+    BadMagic,       //!< not a cesp trace file
+    LegacyVersion,  //!< valid v1 file where v2 was required (mmap)
+    BadRecordSize,  //!< v2 header's record size is not ours
+    CountMismatch,  //!< header count disagrees with the file size
+    CrcMismatch,    //!< payload bytes fail the header checksum
+    BadRecord,      //!< a record decodes to an impossible instruction
+    MmapFailed,     //!< the mmap syscall itself failed
+    Unsupported,    //!< zero-copy I/O unavailable on this platform
+};
+
+/** Human-readable name of a status (stable, for logs and tests). */
+const char *traceIoStatusName(TraceIoStatus s);
+
+/** Outcome of a trace file operation: a status plus logged detail. */
+struct TraceIoResult
+{
+    TraceIoStatus status = TraceIoStatus::Ok;
+    std::string detail; //!< path and specifics, for the caller's log
+
+    bool ok() const { return status == TraceIoStatus::Ok; }
+    explicit operator bool() const { return ok(); }
+};
+
+/** Success-constructing helper. */
+inline TraceIoResult
+traceIoOk()
+{
+    return {};
+}
+
+/** On-disk sizes, shared by the writer, reader, and mmap source. */
+constexpr size_t kTraceV2HeaderBytes = 32;
+constexpr size_t kTraceRecordBytes = 20;
 
 /**
- * Read a trace from @p path into @p out (replacing its contents);
- * false if the file is missing, truncated, or version-mismatched.
+ * Write a trace to @p path in format v2. The data is flushed and the
+ * stream closed before success is reported, so a TraceIoResult with
+ * ok() set means every byte reached the OS — a full disk surfaces as
+ * ShortWrite, FlushFailed, or CloseFailed, never as silent success.
  */
-bool loadTrace(const std::string &path, TraceBuffer &out);
+TraceIoResult saveTrace(const TraceBuffer &buf,
+                        const std::string &path);
+
+/**
+ * Read a trace from @p path into @p out (replacing its contents).
+ * Accepts v1 and v2 files; v2 payloads are checksum-verified. On
+ * failure @p out is untouched.
+ */
+TraceIoResult loadTrace(const std::string &path, TraceBuffer &out);
+
+/**
+ * Write a trace in the legacy v1 format. Kept for the v1-vs-v2
+ * round-trip tests and for producing inputs to `cesp-trace convert`;
+ * new code should write v2 via saveTrace.
+ */
+TraceIoResult saveTraceV1(const TraceBuffer &buf,
+                          const std::string &path);
+
+namespace detail {
+
+/**
+ * Validate a v2 header (magic, record size) and extract the record
+ * count and payload CRC. Shared by the buffered reader and the mmap
+ * source.
+ */
+TraceIoResult parseV2Header(const uint8_t *header,
+                            const std::string &path,
+                            uint64_t &count_out, uint32_t &crc_out);
+
+/**
+ * Verify @p count records of raw v2 payload: CRC against the header
+ * value, then enum-range validity of every record.
+ */
+TraceIoResult verifyV2Payload(const uint8_t *payload, uint64_t count,
+                              uint32_t expect_crc,
+                              const std::string &path);
+
+} // namespace detail
 
 } // namespace cesp::trace
 

@@ -10,11 +10,11 @@
 namespace cesp::uarch {
 
 void
-StoreQueue::dispatch(uint64_t seq, uint32_t addr)
+StoreQueue::dispatch(uint64_t seq, uint32_t addr, uint8_t size)
 {
     if (!stores_.empty() && stores_.back().seq >= seq)
         panic("StoreQueue: out-of-order dispatch");
-    stores_.push_back({seq, addr, false});
+    stores_.push_back({seq, addr, size ? size : uint8_t{1}, false});
     unissued_.insert(seq);
 }
 
@@ -50,14 +50,28 @@ StoreQueue::olderStoreUnissued(uint64_t load_seq) const
 }
 
 std::optional<uint64_t>
-StoreQueue::forwardFrom(uint64_t load_seq, uint32_t addr) const
+StoreQueue::forwardFrom(uint64_t load_seq, uint32_t addr,
+                        uint8_t size) const
 {
-    uint32_t word = addr & ~3u;
+    // 64-bit ends so a store at the top of the address space does
+    // not wrap to "covers everything".
+    uint64_t lo = addr;
+    uint64_t hi = lo + (size ? size : 1);
     for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
         if (it->seq >= load_seq)
             continue;
-        if (it->issued && (it->addr & ~3u) == word)
+        uint64_t s_lo = it->addr;
+        uint64_t s_hi = s_lo + it->size;
+        if (s_hi <= lo || hi <= s_lo)
+            continue; // disjoint — keep scanning older stores
+        // The youngest overlapping store decides: forward only if it
+        // fully covers the load and has issued. Anything less (a
+        // partial overlap, or data not yet available) means an older
+        // store cannot supply the load either — some of its bytes
+        // are stale — so the load must go to the cache.
+        if (it->issued && s_lo <= lo && hi <= s_hi)
             return it->seq;
+        return std::nullopt;
     }
     return std::nullopt;
 }

@@ -20,8 +20,9 @@ namespace cesp::uarch {
 class StoreQueue
 {
   public:
-    /** A store enters the queue at dispatch (program order). */
-    void dispatch(uint64_t seq, uint32_t addr);
+    /** A store enters the queue at dispatch (program order).
+     *  @p size is the access width in bytes (0 is treated as 1). */
+    void dispatch(uint64_t seq, uint32_t addr, uint8_t size = 4);
 
     /** The store's address becomes known when it issues. */
     void markIssued(uint64_t seq);
@@ -36,11 +37,17 @@ class StoreQueue
     bool olderStoreUnissued(uint64_t load_seq) const;
 
     /**
-     * Youngest issued store older than @p load_seq writing the same
-     * word; nullopt if none (the load goes to the cache).
+     * Youngest issued store older than @p load_seq whose bytes fully
+     * cover the load's [@p addr, @p addr + @p size); nullopt if none
+     * (the load goes to the cache). The youngest *overlapping* store
+     * decides the outcome: if it only partially covers the load (a
+     * 1-byte store vs a 4-byte load, say) or has not issued, nothing
+     * forwards — an older covering store would supply bytes the
+     * overlapping store has since made stale.
      */
     std::optional<uint64_t> forwardFrom(uint64_t load_seq,
-                                        uint32_t addr) const;
+                                        uint32_t addr,
+                                        uint8_t size = 4) const;
 
     size_t size() const { return stores_.size(); }
     void clear();
@@ -50,6 +57,7 @@ class StoreQueue
     {
         uint64_t seq;
         uint32_t addr;
+        uint8_t size;
         bool issued = false;
     };
 

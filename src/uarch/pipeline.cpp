@@ -178,7 +178,8 @@ Pipeline::chooseExecCluster(const DynInst &inst, isa::OpClass cls,
 int
 Pipeline::loadLatency(DynInst &inst)
 {
-    if (stq_.forwardFrom(inst.seq, inst.op.mem_addr)) {
+    if (stq_.forwardFrom(inst.seq, inst.op.mem_addr,
+                         inst.op.mem_size)) {
         ++stats_.store_forwards;
         return cfg_.dcache.hit_latency;
     }
@@ -675,7 +676,7 @@ Pipeline::doDispatch()
         }
 
         if (op.isStore())
-            stq_.dispatch(inst.seq, op.mem_addr);
+            stq_.dispatch(inst.seq, op.mem_addr, op.mem_size);
 
         inst.dispatch_cycle = now_;
         inst.in_buffer = true;

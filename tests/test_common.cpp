@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
+#include "common/crc32.hpp"
 #include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -175,4 +178,99 @@ TEST(Table, EmptyTableStillRenders)
     Table t;
     std::string s = t.render();
     EXPECT_FALSE(s.empty());
+}
+
+TEST(ParseInt, AcceptsPlainIntegers)
+{
+    EXPECT_EQ(parseInt("0", 0, 100), 0);
+    EXPECT_EQ(parseInt("42", 0, 100), 42);
+    EXPECT_EQ(parseInt("-7", -10, 10), -7);
+    EXPECT_EQ(parseInt("100", 0, 100), 100); // bounds inclusive
+}
+
+TEST(ParseInt, RejectsWhatAtoiSilentlyAccepts)
+{
+    // atoi("x4") == 0, atoi("4x") == 4 — the bugs this replaces.
+    EXPECT_FALSE(parseInt("x4", 0, 100).has_value());
+    EXPECT_FALSE(parseInt("4x", 0, 100).has_value());
+    EXPECT_FALSE(parseInt("", 0, 100).has_value());
+    EXPECT_FALSE(parseInt(" 4", 0, 100).has_value());
+    EXPECT_FALSE(parseInt("4 ", 0, 100).has_value());
+    EXPECT_FALSE(parseInt("4.5", 0, 100).has_value());
+    EXPECT_FALSE(parseInt("--4", -10, 10).has_value());
+}
+
+TEST(ParseInt, RejectsOutOfRange)
+{
+    EXPECT_FALSE(parseInt("101", 0, 100).has_value());
+    EXPECT_FALSE(parseInt("-1", 0, 100).has_value());
+    // Overflows long long entirely (ERANGE path).
+    EXPECT_FALSE(
+        parseInt("99999999999999999999", 0, 100).has_value());
+    EXPECT_FALSE(
+        parseInt("-99999999999999999999", -100, 100).has_value());
+}
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // The standard CRC-32C (Castagnoli) check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xE3069283u);
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    // An incremental computation equals the one-shot result, for
+    // every split point (the hardware path has aligned/unaligned
+    // head, body, and tail phases — cross them all).
+    for (size_t split = 0; split <= 9; ++split) {
+        uint32_t inc = crc32("123456789", split);
+        inc = crc32("123456789" + split, 9 - split, inc);
+        EXPECT_EQ(inc, 0xE3069283u) << "split " << split;
+    }
+}
+
+TEST(Crc32, HardwareAndPortablePathsAgree)
+{
+    // On x86 crc32() dispatches to the SSE4.2 instruction; it must
+    // compute the same function as the table fallback for every
+    // length and alignment (offset into the buffer).
+    Rng rng(99);
+    std::vector<uint8_t> buf(200000);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng.below(256));
+    for (size_t off : {0u, 1u, 3u, 7u})
+        for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1000u}) {
+            EXPECT_EQ(crc32(buf.data() + off, len),
+                      detail::crc32Portable(buf.data() + off, len))
+                << "off " << off << " len " << len;
+        }
+    // Lengths past the multi-stream threshold take the interleaved
+    // path, whose partial CRCs are merged with a GF(2) shift
+    // operator; it must still compute the same function, with and
+    // without a nonzero seed, at lengths where the three streams
+    // leave different tail remainders.
+    for (size_t len : {24576u, 24577u, 100000u, 199999u})
+        for (uint32_t seed : {0u, 0xDEADBEEFu}) {
+            EXPECT_EQ(crc32(buf.data(), len, seed),
+                      detail::crc32Portable(buf.data(), len, seed))
+                << "len " << len << " seed " << seed;
+        }
+    // Chaining a small block into a large one crosses from the
+    // single-stream into the multi-stream path mid-checksum.
+    uint32_t chained = crc32(buf.data(), 100);
+    chained = crc32(buf.data() + 100, buf.size() - 100, chained);
+    EXPECT_EQ(chained, detail::crc32Portable(buf.data(), buf.size()));
+}
+
+TEST(Crc32, SensitiveToEveryByte)
+{
+    // Slice-by-8 processes 8-byte blocks; make sure a flip in any
+    // position of a block-straddling buffer changes the sum.
+    unsigned char buf[24] = {};
+    for (size_t i = 0; i < sizeof(buf); ++i)
+        buf[i] = static_cast<unsigned char>(i * 37 + 1);
+    const uint32_t base = crc32(buf, sizeof(buf));
+    for (size_t i = 0; i < sizeof(buf); ++i) {
+        buf[i] ^= 0x80;
+        EXPECT_NE(crc32(buf, sizeof(buf)), base) << "byte " << i;
+        buf[i] ^= 0x80;
+    }
+    EXPECT_EQ(crc32(buf, sizeof(buf)), base);
 }

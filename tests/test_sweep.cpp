@@ -47,8 +47,8 @@ mixedTasks(const trace::TraceBuffer &a, const trace::TraceBuffer &b)
 
     std::vector<SweepTask> tasks;
     for (const uarch::SimConfig &cfg : configs) {
-        tasks.push_back({cfg, &a});
-        tasks.push_back({cfg, &b});
+        tasks.push_back({cfg, a});
+        tasks.push_back({cfg, b});
     }
     return tasks;
 }
@@ -137,4 +137,65 @@ TEST(Sweep, EmptyTaskList)
 {
     std::vector<SweepTask> none;
     EXPECT_TRUE(core::runSweep(none, 4).empty());
+}
+
+namespace {
+
+/** RAII install/uninstall of the sweep fault-injection hook. */
+struct HookGuard
+{
+    explicit HookGuard(void (*hook)(size_t))
+    {
+        core::detail::sweep_task_hook = hook;
+    }
+    ~HookGuard() { core::detail::sweep_task_hook = nullptr; }
+};
+
+void
+throwOnTaskThree(size_t index)
+{
+    if (index == 3)
+        throw std::runtime_error("injected fault in task 3");
+}
+
+} // namespace
+
+TEST(Sweep, WorkerExceptionRethrownOnCaller)
+{
+    // A throw inside a worker thread must not call std::terminate:
+    // the runner captures the first exception, drains the remaining
+    // tasks, joins, and rethrows here.
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 2000);
+    std::vector<uarch::SimConfig> configs(8, core::baseline8Way());
+
+    HookGuard guard(&throwOnTaskThree);
+    for (unsigned jobs : {1u, 4u}) {
+        try {
+            core::runSweep(configs, buf, jobs);
+            FAIL() << "expected the injected fault to propagate "
+                      "(jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "injected fault in task 3");
+        }
+    }
+}
+
+TEST(Sweep, RecoversAfterWorkerException)
+{
+    // The pool must wind down cleanly: a subsequent sweep on the
+    // same traces works and produces correct results.
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 2000);
+    std::vector<uarch::SimConfig> configs(8, core::baseline8Way());
+
+    {
+        HookGuard guard(&throwOnTaskThree);
+        EXPECT_THROW(core::runSweep(configs, buf, 4),
+                     std::runtime_error);
+    }
+    std::vector<SimStats> after = core::runSweep(configs, buf, 4);
+    ASSERT_EQ(after.size(), configs.size());
+    for (const SimStats &s : after)
+        EXPECT_EQ(fingerprint(s), fingerprint(after[0]));
 }

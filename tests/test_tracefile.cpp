@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Fault-injection tests of the trace file formats and the zero-copy
+ * mmap reader: every way a file can be wrong — truncated header,
+ * truncated payload, foreign magic, flipped payload byte, lying
+ * record count, alien record size, impossible opcode — must map to
+ * its own TraceIoStatus, and the workload trace cache must recover
+ * from each by regenerating. Also proves the mmap view is
+ * statistic-exact against TraceBuffer for every machine preset and
+ * record-exact for every workload.
+ *
+ * The whole binary runs against a private CESP_TRACE_CACHE directory
+ * (set before main() via a global test environment) so cache tests
+ * never touch the user's shared cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
+#include "core/machine.hpp"
+#include "core/presets.hpp"
+#include "trace/mmap_source.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/tracefile.hpp"
+#include "uarch/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cesp;
+using trace::TraceIoStatus;
+
+namespace {
+
+std::filesystem::path g_dir; // private cache + scratch directory
+
+/** Point CESP_TRACE_CACHE at a private directory for this process. */
+class PrivateCacheEnv : public ::testing::Environment
+{
+  public:
+    void SetUp() override
+    {
+        g_dir = std::filesystem::temp_directory_path() /
+            strprintf("cesp-tracefile-test-%d", getpid());
+        std::filesystem::create_directories(g_dir);
+        ASSERT_EQ(setenv("CESP_TRACE_CACHE", g_dir.c_str(), 1), 0);
+    }
+
+    void TearDown() override
+    {
+        core::clearTraceCache(); // unmap before deleting the files
+        std::error_code ec;
+        std::filesystem::remove_all(g_dir, ec);
+    }
+};
+
+const ::testing::Environment *const g_env =
+    ::testing::AddGlobalTestEnvironment(new PrivateCacheEnv);
+
+std::string
+scratchFile(const std::string &name)
+{
+    return (g_dir / name).string();
+}
+
+std::vector<uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+}
+
+/** Patch a v2 header's CRC field to match the (mutated) payload. */
+void
+recomputeCrc(std::vector<uint8_t> &bytes)
+{
+    ASSERT_GE(bytes.size(), trace::kTraceV2HeaderBytes);
+    uint32_t c = crc32(bytes.data() + trace::kTraceV2HeaderBytes,
+                       bytes.size() - trace::kTraceV2HeaderBytes);
+    bytes[20] = static_cast<uint8_t>(c);
+    bytes[21] = static_cast<uint8_t>(c >> 8);
+    bytes[22] = static_cast<uint8_t>(c >> 16);
+    bytes[23] = static_cast<uint8_t>(c >> 24);
+}
+
+trace::TraceBuffer
+sampleTrace(size_t n = 5000, uint64_t seed = 11)
+{
+    trace::SyntheticParams sp;
+    sp.seed = seed;
+    return trace::generateSynthetic(sp, n);
+}
+
+bool
+sameRecords(const trace::TraceView &a, const trace::TraceView &b)
+{
+    return a.count == b.count &&
+        std::memcmp(a.records, b.records,
+                    a.count * sizeof(trace::TraceOp)) == 0;
+}
+
+/** Both readers on one injected corruption, each status checked. */
+void
+expectCorrupt(const std::string &path, TraceIoStatus load_status,
+              TraceIoStatus mmap_status)
+{
+    trace::TraceBuffer out;
+    trace::TraceIoResult loaded = trace::loadTrace(path, out);
+    EXPECT_EQ(loaded.status, load_status)
+        << "loadTrace: " << loaded.detail;
+    EXPECT_TRUE(out.empty()) << "failed load must not emit records";
+    EXPECT_FALSE(loaded.detail.empty())
+        << "failure must carry logged detail";
+
+    trace::MmapTraceSource src;
+    trace::TraceIoResult opened = src.open(path);
+    EXPECT_EQ(opened.status, mmap_status)
+        << "mmap: " << opened.detail;
+    EXPECT_FALSE(src.mapped());
+}
+
+std::string
+fingerprint(const uarch::SimStats &s)
+{
+    std::ostringstream os;
+    os << s.cycles << "/" << s.fetched << "/" << s.dispatched << "/"
+       << s.issued << "/" << s.committed << "/" << s.mispredicts
+       << "/" << s.dcache_misses << "/" << s.l2_misses << "/"
+       << s.store_forwards << "/" << s.intercluster_bypasses;
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceFileV2, RoundTripPreservesEveryField)
+{
+    trace::TraceBuffer buf = sampleTrace();
+    const std::string path = scratchFile("roundtrip.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+
+    trace::TraceBuffer loaded;
+    trace::TraceIoResult r = trace::loadTrace(path, loaded);
+    ASSERT_TRUE(r.ok()) << r.detail;
+    ASSERT_TRUE(sameRecords(buf, loaded));
+
+    // Spot-check the header against the documented layout.
+    std::vector<uint8_t> bytes = readAll(path);
+    ASSERT_EQ(bytes.size(), trace::kTraceV2HeaderBytes +
+                  buf.size() * trace::kTraceRecordBytes);
+    EXPECT_EQ(std::memcmp(bytes.data(), "CESPTRC2", 8), 0);
+    EXPECT_EQ(bytes[16], trace::kTraceRecordBytes); // record size
+}
+
+TEST(TraceFileV2, EmptyTraceRoundTrips)
+{
+    trace::TraceBuffer empty;
+    const std::string path = scratchFile("empty.trc");
+    ASSERT_TRUE(trace::saveTrace(empty, path).ok());
+    EXPECT_EQ(readAll(path).size(), trace::kTraceV2HeaderBytes);
+
+    trace::TraceBuffer loaded = sampleTrace(10);
+    ASSERT_TRUE(trace::loadTrace(path, loaded).ok());
+    EXPECT_TRUE(loaded.empty());
+
+    trace::MmapTraceSource src;
+    ASSERT_TRUE(src.open(path).ok());
+    EXPECT_EQ(src.size(), 0u);
+}
+
+TEST(TraceFileV2, SaveReportsUnwritablePath)
+{
+    trace::TraceBuffer buf = sampleTrace(100);
+    trace::TraceIoResult r =
+        trace::saveTrace(buf, (g_dir / "no-such-dir" / "x.trc")
+                                  .string());
+    EXPECT_EQ(r.status, TraceIoStatus::OpenFailed);
+    EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(TraceFileV1, RoundTripAndMmapRefusal)
+{
+    trace::TraceBuffer buf = sampleTrace(3000, 7);
+    const std::string path = scratchFile("legacy.trc");
+    ASSERT_TRUE(trace::saveTraceV1(buf, path).ok());
+
+    // The buffered reader accepts v1 transparently...
+    trace::TraceBuffer loaded;
+    trace::TraceIoResult r = trace::loadTrace(path, loaded);
+    ASSERT_TRUE(r.ok()) << r.detail;
+    EXPECT_TRUE(sameRecords(buf, loaded));
+
+    // ...but the zero-copy reader must refuse with LegacyVersion
+    // (v1 records are packed; there is nothing to map verbatim).
+    trace::MmapTraceSource src;
+    EXPECT_EQ(src.open(path).status, TraceIoStatus::LegacyVersion);
+}
+
+TEST(TraceFileFaults, TruncatedHeader)
+{
+    trace::TraceBuffer buf = sampleTrace(500);
+    const std::string path = scratchFile("trunchdr.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+
+    for (size_t keep : {0u, 7u, 15u, 16u, 31u}) {
+        writeAll(path, std::vector<uint8_t>(bytes.begin(),
+                                            bytes.begin() + keep));
+        expectCorrupt(path, TraceIoStatus::ShortRead,
+                      TraceIoStatus::ShortRead);
+    }
+}
+
+TEST(TraceFileFaults, TruncatedPayload)
+{
+    trace::TraceBuffer buf = sampleTrace(500);
+    const std::string path = scratchFile("truncpay.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+
+    // Chop mid-record: the stream reader hits EOF early; the mmap
+    // reader sees a size that cannot hold the header's count.
+    writeAll(path, std::vector<uint8_t>(bytes.begin(),
+                                        bytes.end() - 13));
+    expectCorrupt(path, TraceIoStatus::ShortRead,
+                  TraceIoStatus::CountMismatch);
+
+    // Chop whole records: both see a header/size disagreement.
+    writeAll(path, std::vector<uint8_t>(
+                       bytes.begin(),
+                       bytes.end() - 5 * trace::kTraceRecordBytes));
+    expectCorrupt(path, TraceIoStatus::ShortRead,
+                  TraceIoStatus::CountMismatch);
+}
+
+TEST(TraceFileFaults, BadMagic)
+{
+    trace::TraceBuffer buf = sampleTrace(200);
+    const std::string path = scratchFile("badmagic.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+    bytes[0] = 'X';
+    writeAll(path, bytes);
+    expectCorrupt(path, TraceIoStatus::BadMagic,
+                  TraceIoStatus::BadMagic);
+
+    // A file of a plausible future version is also not ours.
+    std::memcpy(bytes.data(), "CESPTRC9", 8);
+    writeAll(path, bytes);
+    expectCorrupt(path, TraceIoStatus::BadMagic,
+                  TraceIoStatus::BadMagic);
+}
+
+TEST(TraceFileFaults, FlippedPayloadByteFailsCrc)
+{
+    trace::TraceBuffer buf = sampleTrace(800);
+    const std::string path = scratchFile("badcrc.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+
+    // Flip one bit in the middle and at both ends of the payload.
+    for (size_t pos : {trace::kTraceV2HeaderBytes, bytes.size() / 2,
+                       bytes.size() - 1}) {
+        std::vector<uint8_t> mut = bytes;
+        mut[pos] ^= 0x01;
+        writeAll(path, mut);
+        expectCorrupt(path, TraceIoStatus::CrcMismatch,
+                      TraceIoStatus::CrcMismatch);
+    }
+}
+
+TEST(TraceFileFaults, HeaderCountDisagreesWithFileSize)
+{
+    trace::TraceBuffer buf = sampleTrace(300);
+    const std::string path = scratchFile("badcount.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+
+    // Extra trailing records the header does not admit to.
+    std::vector<uint8_t> longer = bytes;
+    longer.insert(longer.end(), trace::kTraceRecordBytes, 0);
+    writeAll(path, longer);
+    expectCorrupt(path, TraceIoStatus::CountMismatch,
+                  TraceIoStatus::CountMismatch);
+
+    // A header count larger than the payload (fabricated, with a
+    // huge value that would overflow a naive size computation).
+    std::vector<uint8_t> lying = bytes;
+    for (int i = 0; i < 8; ++i)
+        lying[8 + i] = 0xff;
+    writeAll(path, lying);
+    expectCorrupt(path, TraceIoStatus::ShortRead,
+                  TraceIoStatus::CountMismatch);
+}
+
+TEST(TraceFileFaults, ForeignRecordSize)
+{
+    trace::TraceBuffer buf = sampleTrace(100);
+    const std::string path = scratchFile("badrecsize.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+    bytes[16] = 24; // some other build's TraceOp
+    writeAll(path, bytes);
+    expectCorrupt(path, TraceIoStatus::BadRecordSize,
+                  TraceIoStatus::BadRecordSize);
+}
+
+TEST(TraceFileFaults, ImpossibleOpcodeWithValidCrc)
+{
+    // A record can be bit-intact (CRC passes) yet decode to garbage —
+    // e.g. written by a build with more opcodes. Must be BadRecord,
+    // not silently accepted.
+    trace::TraceBuffer buf = sampleTrace(100);
+    const std::string path = scratchFile("badrecord.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    std::vector<uint8_t> bytes = readAll(path);
+    // Record 3's opcode byte (offset 12 within the record).
+    bytes[trace::kTraceV2HeaderBytes + 3 * trace::kTraceRecordBytes +
+          12] = 0xff;
+    recomputeCrc(bytes);
+    writeAll(path, bytes);
+    expectCorrupt(path, TraceIoStatus::BadRecord,
+                  TraceIoStatus::BadRecord);
+}
+
+TEST(MmapParity, RecordExactForEveryWorkload)
+{
+    // The cache-served view (mmap-backed when the disk cache is
+    // healthy) must be byte-identical to a freshly emulated trace.
+    for (const auto &w : workloads::allWorkloads()) {
+        trace::TraceView view = core::cachedWorkloadTraceView(w.name);
+        trace::TraceBuffer fresh = workloads::traceOf(w);
+        EXPECT_TRUE(sameRecords(view, fresh)) << w.name;
+    }
+}
+
+TEST(MmapParity, StatisticExactForEveryPreset)
+{
+    trace::TraceBuffer buf = sampleTrace(20000, 23);
+    const std::string path = scratchFile("parity.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, path).ok());
+    trace::MmapTraceSource src;
+    ASSERT_TRUE(src.open(path).ok());
+    ASSERT_TRUE(sameRecords(buf, src.view()));
+
+    const std::vector<uarch::SimConfig> presets = {
+        core::baseline8Way(),          core::dependence8x8(),
+        core::clusteredDependence2x4(), core::clusteredWindows2x4(),
+        core::clusteredExecDriven2x4(), core::clusteredRandom2x4(),
+        core::baseline16Way(),         core::clusteredDependence4x4(),
+    };
+    for (const uarch::SimConfig &cfg : presets) {
+        trace::TraceCursor from_buf(buf);
+        trace::TraceCursor from_map(src.view());
+        uarch::SimStats a = uarch::simulate(cfg, from_buf);
+        uarch::SimStats b = uarch::simulate(cfg, from_map);
+        EXPECT_EQ(fingerprint(a), fingerprint(b)) << cfg.name;
+    }
+}
+
+namespace {
+
+/** The cache file the trace cache published for @p workload. */
+std::filesystem::path
+cachedFileFor(const std::string &workload)
+{
+    for (const auto &e : std::filesystem::directory_iterator(g_dir)) {
+        const std::string name = e.path().filename().string();
+        if (name.rfind(workload + "-", 0) == 0 &&
+            e.path().extension() == ".trc")
+            return e.path();
+    }
+    return {};
+}
+
+} // namespace
+
+TEST(TraceCacheRecovery, RegeneratesAfterEveryCorruption)
+{
+    const std::string w = "compress";
+    core::clearTraceCache();
+    trace::TraceView first = core::cachedWorkloadTraceView(w);
+    ASSERT_GT(first.count, 0u);
+    // The view dies with the cache entry; keep a private copy.
+    std::vector<trace::TraceOp> golden(
+        first.records, first.records + first.count);
+
+    std::filesystem::path file = cachedFileFor(w);
+    ASSERT_FALSE(file.empty()) << "cache did not publish a v2 file";
+    const std::vector<uint8_t> pristine = readAll(file.string());
+
+    using Mutator = void (*)(std::vector<uint8_t> &);
+    const Mutator mutators[] = {
+        [](std::vector<uint8_t> &b) { b.resize(9); },
+        [](std::vector<uint8_t> &b) { b.resize(b.size() - 7); },
+        [](std::vector<uint8_t> &b) { b[4] = '?'; },
+        [](std::vector<uint8_t> &b) {
+            b[trace::kTraceV2HeaderBytes + 100] ^= 0x40;
+        },
+        [](std::vector<uint8_t> &b) {
+            b.insert(b.end(), trace::kTraceRecordBytes, 0);
+        },
+    };
+    for (const Mutator &mutate : mutators) {
+        std::vector<uint8_t> bytes = pristine;
+        mutate(bytes);
+        core::clearTraceCache(); // drop the mapping, then corrupt
+        writeAll(file.string(), bytes);
+
+        trace::TraceView recovered = core::cachedWorkloadTraceView(w);
+        ASSERT_EQ(recovered.count, golden.size());
+        EXPECT_EQ(std::memcmp(recovered.records, golden.data(),
+                              golden.size() * sizeof(trace::TraceOp)),
+                  0);
+
+        // The regeneration also republished an intact v2 file.
+        trace::MmapTraceSource check;
+        trace::TraceIoResult r = check.open(file.string());
+        EXPECT_TRUE(r.ok()) << r.detail;
+        EXPECT_EQ(check.size(), golden.size());
+    }
+}
+
+TEST(TraceCacheRecovery, UpgradesV1FileInPlace)
+{
+    const std::string w = "compress";
+    core::clearTraceCache();
+    trace::TraceView first = core::cachedWorkloadTraceView(w);
+    std::vector<trace::TraceOp> golden(
+        first.records, first.records + first.count);
+
+    std::filesystem::path file = cachedFileFor(w);
+    ASSERT_FALSE(file.empty());
+
+    // Rewrite the cache file in the legacy format, as a harness from
+    // before the v2 migration would have left it.
+    trace::TraceBuffer legacy;
+    legacy.assign(golden);
+    core::clearTraceCache();
+    ASSERT_TRUE(trace::saveTraceV1(legacy, file.string()).ok());
+
+    // The next request decodes v1 once and republishes v2 — no
+    // re-emulation, and the file is mappable again afterwards.
+    trace::TraceView upgraded = core::cachedWorkloadTraceView(w);
+    ASSERT_EQ(upgraded.count, golden.size());
+    EXPECT_EQ(std::memcmp(upgraded.records, golden.data(),
+                          golden.size() * sizeof(trace::TraceOp)),
+              0);
+    trace::MmapTraceSource check;
+    EXPECT_TRUE(check.open(file.string()).ok());
+}

@@ -141,13 +141,66 @@ TEST(StoreQueue, ForwardingFindsYoungestOlderMatch)
     EXPECT_FALSE(q.forwardFrom(10, 0x200).has_value());
 }
 
-TEST(StoreQueue, ForwardingIsWordGranular)
+TEST(StoreQueue, ForwardingRequiresFullCoverage)
+{
+    // A store forwards only when it covers every byte of the load.
+    StoreQueue q;
+    q.dispatch(1, 0x100, 1); // byte store at 0x100
+    q.markIssued(1);
+    // A word load overlapping the byte store must NOT forward: three
+    // of its four bytes would come from memory.
+    EXPECT_FALSE(q.forwardFrom(5, 0x100, 4).has_value());
+    // A byte load of the stored byte forwards.
+    EXPECT_TRUE(q.forwardFrom(5, 0x100, 1).has_value());
+    // A byte load of a neighboring byte does not.
+    EXPECT_FALSE(q.forwardFrom(5, 0x101, 1).has_value());
+}
+
+TEST(StoreQueue, WiderStoreForwardsToNarrowerLoad)
 {
     StoreQueue q;
-    q.dispatch(1, 0x102); // byte within word 0x100
+    q.dispatch(1, 0x100, 4); // word store [0x100, 0x104)
     q.markIssued(1);
-    EXPECT_TRUE(q.forwardFrom(5, 0x100).has_value());
-    EXPECT_FALSE(q.forwardFrom(5, 0x104).has_value());
+    // Any sub-range of the store forwards...
+    EXPECT_TRUE(q.forwardFrom(5, 0x100, 4).has_value());
+    EXPECT_TRUE(q.forwardFrom(5, 0x102, 2).has_value());
+    EXPECT_TRUE(q.forwardFrom(5, 0x103, 1).has_value());
+    // ...but a load straddling the store's end does not.
+    EXPECT_FALSE(q.forwardFrom(5, 0x102, 4).has_value());
+    // Nor does an adjacent word.
+    EXPECT_FALSE(q.forwardFrom(5, 0x104, 4).has_value());
+}
+
+TEST(StoreQueue, PartialOverlapDoesNotForward)
+{
+    StoreQueue q;
+    q.dispatch(1, 0x102, 2); // halfword store [0x102, 0x104)
+    q.markIssued(1);
+    // Word loads at 0x100 and 0x104 each overlap one end of the
+    // store without being covered by it.
+    EXPECT_FALSE(q.forwardFrom(5, 0x100, 4).has_value());
+    EXPECT_FALSE(q.forwardFrom(5, 0x104, 4).has_value());
+    // The exactly-covered halfword forwards.
+    EXPECT_TRUE(q.forwardFrom(5, 0x102, 2).has_value());
+}
+
+TEST(StoreQueue, YoungestCoveringStoreWins)
+{
+    // With mixed widths the youngest *covering* store forwards, not
+    // merely the youngest overlapping one.
+    StoreQueue q;
+    q.dispatch(1, 0x100, 4); // word store
+    q.dispatch(4, 0x100, 1); // younger byte store over its low byte
+    q.markIssued(1);
+    q.markIssued(4);
+    // A word load is only covered by store 1; store 4 overlaps but
+    // holds just one of the four bytes. Forwarding from store 1
+    // would be wrong (its low byte is stale), so the queue refuses.
+    EXPECT_FALSE(q.forwardFrom(10, 0x100, 4).has_value());
+    // A byte load of 0x100 is covered by both; the youngest wins.
+    auto f = q.forwardFrom(10, 0x100, 1);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f, 4u);
 }
 
 TEST(StoreQueue, UnissuedStoresDoNotForward)

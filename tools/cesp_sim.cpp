@@ -24,6 +24,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
@@ -88,6 +89,22 @@ usage()
         "  --seed N               random-steering seed\n"
         "  --verbose              print occupancy histograms");
     std::exit(2);
+}
+
+/**
+ * Parse @p value as the integer argument of @p flag, rejecting
+ * typos ("x4", "4x", "") and out-of-range values with a usage error
+ * instead of std::atoi's silent 0.
+ */
+long long
+intArg(const std::string &flag, const std::string &value,
+       long long min, long long max)
+{
+    auto v = parseInt(value, min, max);
+    if (!v)
+        fatal("invalid value '%s' for %s (expected integer in "
+              "[%lld, %lld])", value.c_str(), flag.c_str(), min, max);
+    return *v;
 }
 
 uarch::SimConfig
@@ -206,14 +223,14 @@ main(int argc, char **argv)
         } else if (a == "--tech") {
             tech = next();
         } else if (a == "--synthetic") {
-            synthetic = std::strtoull(next().c_str(), nullptr, 0);
+            synthetic = static_cast<uint64_t>(
+                intArg(a, next(), 1, 1000000000000LL));
         } else if (a == "--all-workloads") {
             all = true;
         } else if (a == "--sweep") {
             sweep = true;
         } else if (a == "--jobs") {
-            jobs = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
+            jobs = static_cast<unsigned>(intArg(a, next(), 0, 65536));
         } else if (a == "--perfect-bpred") {
             perfect = true;
         } else if (a == "--verbose") {
@@ -223,7 +240,8 @@ main(int argc, char **argv)
             for (Override *o :
                  {&window, &fifos, &depth, &issue, &stages, &seed}) {
                 if (a == o->flag) {
-                    o->value = std::atoi(next().c_str());
+                    o->value = static_cast<int>(
+                        intArg(a, next(), 0, 1000000000));
                     o->set = true;
                     matched = true;
                     break;
@@ -274,23 +292,24 @@ main(int argc, char **argv)
 
         trace::TraceBuffer synth;
         std::vector<std::string> names;
-        std::vector<const trace::TraceBuffer *> traces;
+        std::vector<trace::TraceView> traces;
         if (synthetic > 0) {
             trace::SyntheticParams sp;
             sp.seed = machines[0].random_seed;
             synth = trace::generateSynthetic(sp, synthetic);
             names.push_back("synthetic");
-            traces.push_back(&synth);
+            traces.push_back(synth);
         } else {
             for (const auto &w : workloads::allWorkloads()) {
                 names.push_back(w.name);
-                traces.push_back(&core::cachedWorkloadTrace(w.name));
+                traces.push_back(
+                    core::cachedWorkloadTraceView(w.name));
             }
         }
 
         std::vector<core::SweepTask> tasks;
         for (const uarch::SimConfig &m : machines)
-            for (const trace::TraceBuffer *t : traces)
+            for (const trace::TraceView &t : traces)
                 tasks.push_back({m, t});
         std::vector<uarch::SimStats> stats =
             core::runSweep(tasks, jobs);
@@ -357,7 +376,8 @@ main(int argc, char **argv)
         std::vector<std::string> names;
         for (const auto &w : workloads::allWorkloads()) {
             names.push_back(w.name);
-            tasks.push_back({cfg, &core::cachedWorkloadTrace(w.name)});
+            tasks.push_back(
+                {cfg, core::cachedWorkloadTraceView(w.name)});
         }
         std::vector<uarch::SimStats> stats =
             core::runSweep(tasks, jobs);

@@ -1,14 +1,16 @@
 /**
  * @file
  * cesp-trace: inspect dynamic traces. Capture a workload or assembly
- * file to a binary .trc file, or analyze an existing one — mix,
- * dependence statistics, dataflow ILP limits, and an optional
- * disassembled listing of the first instructions.
+ * file to a binary .trc file (format v2), analyze an existing one —
+ * mix, dependence statistics, dataflow ILP limits, and an optional
+ * disassembled listing — or check and migrate trace files:
  *
  *   cesp-trace --capture compress --out compress.trc
  *   cesp-trace --analyze compress.trc
  *   cesp-trace --capture-asm kernel.s --out k.trc --list 20
  *   cesp-trace --analyze k.trc --window 64 --issue 8
+ *   cesp-trace verify compress.trc     # header/CRC integrity check
+ *   cesp-trace convert old.trc new.trc # rewrite (v1 or v2) as v2
  */
 
 #include <cstdio>
@@ -17,10 +19,12 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "func/emulator.hpp"
 #include "isa/disasm.hpp"
 #include "trace/analysis.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/tracefile.hpp"
 #include "workloads/workloads.hpp"
 
@@ -33,6 +37,8 @@ usage()
 {
     std::puts(
         "usage: cesp-trace [options]\n"
+        "       cesp-trace verify FILE\n"
+        "       cesp-trace convert IN OUT\n"
         "  --capture NAME      capture a built-in workload's trace\n"
         "  --capture-asm FILE  assemble and capture FILE's trace\n"
         "  --out FILE          where to write the .trc (default\n"
@@ -40,8 +46,81 @@ usage()
         "  --analyze FILE      analyze an existing .trc\n"
         "  --window N          finite-window ILP limit (default 64)\n"
         "  --issue N           finite-width ILP limit (default 8)\n"
-        "  --list N            print the first N instructions");
+        "  --list N            print the first N instructions\n"
+        "subcommands:\n"
+        "  verify FILE         check header, record count, and (v2)\n"
+        "                      payload CRC; exit 0 iff intact\n"
+        "  convert IN OUT      rewrite a v1 or v2 trace as v2");
     std::exit(2);
+}
+
+/** Checked integer argument: reject atoi's silent-0 typo handling. */
+int
+intArg(const std::string &flag, const std::string &value, int min,
+       int max)
+{
+    auto v = cesp::parseInt(value, min, max);
+    if (!v)
+        fatal("invalid value '%s' for %s (expected integer in "
+              "[%d, %d])", value.c_str(), flag.c_str(), min, max);
+    return static_cast<int>(*v);
+}
+
+/**
+ * `cesp-trace verify FILE`: run the same integrity gate the
+ * simulator's cache path runs, and say what failed. Exit status 0
+ * only for an intact file.
+ */
+int
+verifyCommand(const std::string &path)
+{
+    trace::MmapTraceSource src;
+    trace::TraceIoResult r = src.open(path);
+    if (r.ok()) {
+        std::printf("%s: v2 OK, %zu records (%zu bytes), CRC valid\n",
+                    path.c_str(), src.size(),
+                    trace::kTraceV2HeaderBytes +
+                        src.size() * trace::kTraceRecordBytes);
+        return 0;
+    }
+    if (r.status == trace::TraceIoStatus::LegacyVersion) {
+        trace::TraceBuffer buf;
+        trace::TraceIoResult v1 = trace::loadTrace(path, buf);
+        if (v1.ok()) {
+            std::printf("%s: v1 OK, %zu records (no checksum; "
+                        "`cesp-trace convert` upgrades to v2)\n",
+                        path.c_str(), buf.size());
+            return 0;
+        }
+        std::fprintf(stderr, "%s: CORRUPT: %s (%s)\n", path.c_str(),
+                     trace::traceIoStatusName(v1.status),
+                     v1.detail.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "%s: CORRUPT: %s (%s)\n", path.c_str(),
+                 trace::traceIoStatusName(r.status),
+                 r.detail.c_str());
+    return 1;
+}
+
+/** `cesp-trace convert IN OUT`: rewrite any readable trace as v2. */
+int
+convertCommand(const std::string &in, const std::string &out)
+{
+    trace::TraceBuffer buf;
+    trace::TraceIoResult loaded = trace::loadTrace(in, buf);
+    if (!loaded.ok())
+        fatal("cannot read '%s': %s (%s)", in.c_str(),
+              trace::traceIoStatusName(loaded.status),
+              loaded.detail.c_str());
+    trace::TraceIoResult saved = trace::saveTrace(buf, out);
+    if (!saved.ok())
+        fatal("cannot write '%s': %s (%s)", out.c_str(),
+              trace::traceIoStatusName(saved.status),
+              saved.detail.c_str());
+    std::printf("wrote %zu records to %s (v2)\n", buf.size(),
+                out.c_str());
+    return 0;
 }
 
 void
@@ -105,6 +184,17 @@ main(int argc, char **argv)
     std::string capture, capture_asm, out = "trace.trc", analyze_file;
     int window = 64, issue = 8, list = 0;
 
+    if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+        if (argc != 3)
+            usage();
+        return verifyCommand(argv[2]);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "convert") == 0) {
+        if (argc != 4)
+            usage();
+        return convertCommand(argv[2], argv[3]);
+    }
+
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -121,11 +211,11 @@ main(int argc, char **argv)
         else if (a == "--analyze")
             analyze_file = next();
         else if (a == "--window")
-            window = std::atoi(next().c_str());
+            window = intArg(a, next(), 1, 1000000);
         else if (a == "--issue")
-            issue = std::atoi(next().c_str());
+            issue = intArg(a, next(), 1, 1024);
         else if (a == "--list")
-            list = std::atoi(next().c_str());
+            list = intArg(a, next(), 0, 1000000000);
         else
             usage();
     }
@@ -142,8 +232,11 @@ main(int argc, char **argv)
             ss << in.rdbuf();
             func::runProgram(ss.str(), 100000000ULL, &buf);
         }
-        if (!trace::saveTrace(buf, out))
-            fatal("cannot write '%s'", out.c_str());
+        trace::TraceIoResult saved = trace::saveTrace(buf, out);
+        if (!saved.ok())
+            fatal("cannot write '%s': %s (%s)", out.c_str(),
+                  trace::traceIoStatusName(saved.status),
+                  saved.detail.c_str());
         std::printf("wrote %zu instructions to %s\n", buf.size(),
                     out.c_str());
         analyze(buf, window, issue, list);
@@ -152,8 +245,12 @@ main(int argc, char **argv)
 
     if (!analyze_file.empty()) {
         trace::TraceBuffer buf;
-        if (!trace::loadTrace(analyze_file, buf))
-            fatal("cannot read '%s'", analyze_file.c_str());
+        trace::TraceIoResult loaded =
+            trace::loadTrace(analyze_file, buf);
+        if (!loaded.ok())
+            fatal("cannot read '%s': %s (%s)", analyze_file.c_str(),
+                  trace::traceIoStatusName(loaded.status),
+                  loaded.detail.c_str());
         std::printf("%s: %zu instructions\n", analyze_file.c_str(),
                     buf.size());
         analyze(buf, window, issue, list);
