@@ -58,8 +58,8 @@ main()
         int n = 0;
         for (const auto &w : workloads::allWorkloads()) {
             auto s = m.runWorkload(w.name);
-            instrs += s.committed;
-            cycles += s.cycles;
+            instrs += s.committed();
+            cycles += s.cycles();
             bypass_sum += s.interClusterPct();
             ++n;
         }

@@ -31,18 +31,18 @@ main()
 
         // Fraction of cycles the 64-entry window is (nearly) full.
         uint64_t full = 0;
-        for (size_t b = 60; b < sw.buffer_occupancy.buckets(); ++b)
-            full += sw.buffer_occupancy.bucket(b);
+        for (size_t b = 60; b < sw.buffer_occupancy().buckets(); ++b)
+            full += sw.buffer_occupancy().bucket(b);
         double full_pct = 100.0 * static_cast<double>(full) /
-            static_cast<double>(sw.buffer_occupancy.total());
+            static_cast<double>(sw.buffer_occupancy().total());
 
         double wide = 0.0;
-        for (size_t b = 6; b < sw.issue_sizes.buckets(); ++b)
-            wide += sw.issue_sizes.fraction(b);
+        for (size_t b = 6; b < sw.issue_sizes().buckets(); ++b)
+            wide += sw.issue_sizes().fraction(b);
 
-        t.row({w.name, cell(sw.buffer_occupancy.mean()),
-               cell(full_pct), cell(sd.buffer_occupancy.mean()),
-               cell(100.0 * sw.issue_sizes.fraction(0)),
+        t.row({w.name, cell(sw.buffer_occupancy().mean()),
+               cell(full_pct), cell(sd.buffer_occupancy().mean()),
+               cell(100.0 * sw.issue_sizes().fraction(0)),
                cell(100.0 * wide)});
     }
     t.print();

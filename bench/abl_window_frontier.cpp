@@ -27,8 +27,8 @@ meanIpc(const uarch::SimConfig &cfg)
     uint64_t instrs = 0, cycles = 0;
     for (const auto &w : workloads::allWorkloads()) {
         auto s = m.runWorkload(w.name);
-        instrs += s.committed;
-        cycles += s.cycles;
+        instrs += s.committed();
+        cycles += s.cycles();
     }
     return static_cast<double>(instrs) / static_cast<double>(cycles);
 }

@@ -112,6 +112,6 @@ main()
                  fifo_of(13) == fifo_of(6)) ? " ok" : " MISMATCH",
                 fifo_of(11) == fifo_of(10) ? " ok" : " MISMATCH");
     std::printf("segment IPC %.2f over %llu cycles\n", stats.ipc(),
-                (unsigned long long)stats.cycles);
+                (unsigned long long)stats.cycles());
     return 0;
 }

@@ -9,7 +9,11 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
@@ -19,8 +23,16 @@ using namespace cesp;
 using namespace cesp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            fatal("usage: %s [--json FILE]", argv[0]);
+    }
+
     Machine base(baseline8Way());
     Machine dep(clusteredDependence2x4());
 
@@ -28,6 +40,9 @@ main()
             "dependence-based 8-way");
     t.header({"benchmark", "window IPC", "2x4 dep IPC",
               "degradation %", "inter-cluster bypass %"});
+    std::vector<StatGroup> runs;
+    StatGroup fig("cesp.fig15",
+                  "clustered dependence-based vs ideal window");
     double sum = 0.0;
     int n = 0;
     for (const auto &w : workloads::allWorkloads()) {
@@ -38,10 +53,31 @@ main()
         ++n;
         t.row({w.name, cell(sb.ipc(), 3), cell(sd.ipc(), 3),
                cell(deg), cell(sd.interClusterPct())});
+        if (!json_path.empty()) {
+            StatGroup gb = sb.group();
+            gb.label() = "baseline / " + w.name;
+            runs.push_back(std::move(gb));
+            StatGroup gd = sd.group();
+            gd.label() = "clustered2x4 / " + w.name;
+            runs.push_back(std::move(gd));
+            fig.addGauge(w.name + ".degradation_pct", "%",
+                         "IPC loss of the clustered machine", deg);
+            fig.addGauge(w.name + ".intercluster_pct", "%",
+                         "instructions bypassing between clusters",
+                         sd.interClusterPct());
+        }
     }
     t.print();
     std::printf("mean IPC degradation %.1f%% (paper: 6.3%% average; "
                 "worst cases m88ksim ~12%%, compress ~9%%)\n",
                 sum / n);
+    if (!json_path.empty()) {
+        fig.addGauge("mean_degradation_pct", "%",
+                     "arithmetic mean over workloads", sum / n);
+        std::string err;
+        if (!writeTextOutput(json_path,
+                             statGroupListJson(runs, {fig}), &err))
+            fatal("%s", err.c_str());
+    }
     return 0;
 }

@@ -12,8 +12,11 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
@@ -23,8 +26,16 @@ using namespace cesp;
 using namespace cesp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            fatal("usage: %s [--json FILE]", argv[0]);
+    }
+
     std::vector<uarch::SimConfig> configs = figure17Configs();
     auto names = workloads::workloadNames();
 
@@ -76,5 +87,30 @@ main()
     std::puts("Paper: random steering degrades 17-26%; exec-driven "
               "within 6% of ideal; dispatch-steered FIFOs and windows "
               "competitive; higher bypass frequency <-> lower IPC.");
+
+    if (!json_path.empty()) {
+        std::vector<StatGroup> runs;
+        StatGroup fig("cesp.fig17",
+                      "clustered design space: IPC degradation vs "
+                      "the ideal 1-cluster window");
+        for (size_t c = 0; c < configs.size(); ++c) {
+            for (size_t w = 0; w < names.size(); ++w) {
+                StatGroup g = stats[c][w].group();
+                g.label() = configs[c].name + " / " + names[w];
+                runs.push_back(std::move(g));
+                if (c > 0)
+                    fig.addGauge(
+                        configs[c].name + "." + names[w] +
+                            ".degradation_pct", "%",
+                        "IPC loss vs the ideal single-cluster window",
+                        100.0 * (1.0 - stats[c][w].ipc() /
+                                           stats[0][w].ipc()));
+            }
+        }
+        std::string err;
+        if (!writeTextOutput(json_path,
+                             statGroupListJson(runs, {fig}), &err))
+            fatal("%s", err.c_str());
+    }
     return 0;
 }

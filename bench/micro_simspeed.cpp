@@ -86,10 +86,10 @@ BM_TimingSim(benchmark::State &state, const uarch::SimConfig &cfg)
     trace::TraceBuffer buf = trace::generateSynthetic(sp, 100000);
     for (auto _ : state) {
         auto stats = uarch::simulate(cfg, buf);
-        benchmark::DoNotOptimize(stats.cycles);
+        benchmark::DoNotOptimize(stats.cycles());
         state.SetItemsProcessed(
             state.items_processed() +
-            static_cast<int64_t>(stats.committed));
+            static_cast<int64_t>(stats.committed()));
     }
 }
 

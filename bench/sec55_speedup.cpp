@@ -11,7 +11,10 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/report.hpp"
 #include "vlsi/clock.hpp"
@@ -21,8 +24,16 @@ using namespace cesp::core;
 using namespace cesp::vlsi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            fatal("usage: %s [--json FILE]", argv[0]);
+    }
+
     // Section 5.3: rename slack at 4 wide.
     RenameDelayModel rn(Process::um0_18);
     WakeupDelayModel wk(Process::um0_18);
@@ -53,5 +64,21 @@ main()
     t.print();
     std::printf("mean speedup %.1f%% (paper: 10-22%%, average 16%%)\n",
                 100.0 * (s.mean_speedup - 1.0));
+
+    if (!json_path.empty()) {
+        StatGroup g = s.toGroup();
+        g.addGauge("rename4_ps", "ps",
+                   "4-wide rename delay at 0.18um", rename4);
+        g.addGauge("window4_ps", "ps",
+                   "4-wide/32-entry wakeup+select delay at 0.18um",
+                   window4);
+        g.addGauge("rename_slack_pct", "%",
+                   "margin by which rename beats window logic "
+                   "(Section 5.3 clock headroom)",
+                   100.0 * (window4 - rename4) / window4);
+        std::string err;
+        if (!writeTextOutput(json_path, g.toJson(), &err))
+            fatal("%s", err.c_str());
+    }
     return 0;
 }

@@ -67,8 +67,8 @@ main(int argc, char **argv)
         uint64_t instrs = 0, cycles = 0;
         for (size_t w = 0; w < traces.size(); ++w) {
             const uarch::SimStats &s = stats[m * traces.size() + w];
-            instrs += s.committed;
-            cycles += s.cycles;
+            instrs += s.committed();
+            cycles += s.cycles();
         }
         return static_cast<double>(instrs) /
             static_cast<double>(cycles);

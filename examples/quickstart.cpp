@@ -67,9 +67,9 @@ main()
     uarch::SimStats sf = fifos.runTrace(buf);
 
     std::printf("window machine : IPC %.3f (%llu cycles)\n", sw.ipc(),
-                (unsigned long long)sw.cycles);
+                (unsigned long long)sw.cycles());
     std::printf("fifo machine   : IPC %.3f (%llu cycles)\n", sf.ipc(),
-                (unsigned long long)sf.cycles);
+                (unsigned long long)sf.cycles());
     std::printf("dependence-based IPC is %.1f%% of the window "
                 "machine's\n", 100.0 * sf.ipc() / sw.ipc());
     return 0;

@@ -94,7 +94,7 @@ main()
     }
 
     std::printf("\nIPC %.3f over %llu cycles\n", stats.ipc(),
-                (unsigned long long)stats.cycles);
+                (unsigned long long)stats.cycles());
     std::puts("Dependent instructions (e.g. the slli/add/lw address "
               "chain) share a FIFO; independent chains occupy "
               "separate FIFOs and issue in parallel.");

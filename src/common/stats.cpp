@@ -5,20 +5,98 @@
 
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
 
 namespace cesp {
+
+void
+Sample::merge(const Sample &o)
+{
+    if (!o.count_)
+        return;
+    if (!count_) {
+        *this = o;
+        return;
+    }
+    sum_ += o.sum_;
+    count_ += o.count_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+void
+Sample::restore(uint64_t count, double sum, double min, double max)
+{
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+}
+
+bool
+Sample::operator==(const Sample &o) const
+{
+    return count_ == o.count_ && sum_ == o.sum_ && min_ == o.min_ &&
+        max_ == o.max_;
+}
 
 double
 Histogram::mean() const
 {
-    if (!total_)
+    uint64_t in_range = inRange();
+    if (!in_range)
         return 0.0;
     double s = 0.0;
     for (size_t i = 0; i < counts_.size(); ++i)
         s += (static_cast<double>(i) + 0.5) * width_ *
             static_cast<double>(counts_[i]);
-    return s / static_cast<double>(total_);
+    return s / static_cast<double>(in_range);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = underflow_ = overflow_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.counts_.size() != counts_.size() || o.width_ != width_)
+        fatal("Histogram::merge: shape mismatch (%zu x %g vs %zu x %g)",
+              counts_.size(), width_, o.counts_.size(), o.width_);
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+}
+
+void
+Histogram::restore(std::vector<uint64_t> counts, uint64_t underflow,
+                   uint64_t overflow)
+{
+    if (counts.size() != counts_.size())
+        fatal("Histogram::restore: %zu counts for a %zu-bucket "
+              "histogram", counts.size(), counts_.size());
+    counts_ = std::move(counts);
+    underflow_ = underflow;
+    overflow_ = overflow;
+    total_ = std::accumulate(counts_.begin(), counts_.end(),
+                             underflow_ + overflow_);
+}
+
+bool
+Histogram::operator==(const Histogram &o) const
+{
+    return width_ == o.width_ && counts_ == o.counts_ &&
+        total_ == o.total_ && underflow_ == o.underflow_ &&
+        overflow_ == o.overflow_;
 }
 
 double

@@ -3,7 +3,8 @@
  * Small statistics accumulators: scalar counters, ratios, running
  * mean/min/max, and fixed-bucket histograms. These back the simulator
  * statistics (IPC, misprediction rate, bypass frequency, occupancy
- * distributions) reported by the bench harnesses.
+ * distributions) reported by the bench harnesses, and are the value
+ * types registered in a cesp::StatGroup (common/metrics.hpp).
  */
 
 #ifndef CESP_COMMON_STATS_HPP
@@ -44,6 +45,15 @@ class Sample
         min_ = max_ = 0.0;
     }
 
+    /** Combine with another accumulator, as if every sample added to
+     *  @p o had been added here. */
+    void merge(const Sample &o);
+
+    /** Restore from exported parts (used by StatGroup::fromJson). */
+    void restore(uint64_t count, double sum, double min, double max);
+
+    bool operator==(const Sample &o) const;
+
   private:
     double sum_ = 0.0;
     uint64_t count_ = 0;
@@ -51,7 +61,14 @@ class Sample
     double max_ = 0.0;
 };
 
-/** Fixed-width bucket histogram over [0, buckets*width). */
+/**
+ * Fixed-width bucket histogram over [0, buckets*width). Out-of-range
+ * samples are NOT folded into the edge buckets: they are counted in
+ * dedicated underflow (v < 0) and overflow (v >= buckets*width)
+ * counters, so a clamped sample is visible in reports and exports
+ * instead of silently corrupting the top bucket. total() counts every
+ * sample, in range or not.
+ */
 class Histogram
 {
   public:
@@ -75,31 +92,59 @@ class Histogram
     void
     add(double v, uint64_t n)
     {
-        size_t b = v < 0 ? 0 : static_cast<size_t>(v / width_);
-        if (b >= counts_.size())
-            b = counts_.size() - 1;
-        counts_[b] += n;
         total_ += n;
+        if (v < 0) {
+            underflow_ += n;
+            return;
+        }
+        size_t b = static_cast<size_t>(v / width_);
+        if (b >= counts_.size()) {
+            overflow_ += n;
+            return;
+        }
+        counts_[b] += n;
     }
 
     uint64_t bucket(size_t i) const { return counts_[i]; }
     size_t buckets() const { return counts_.size(); }
+    double width() const { return width_; }
     uint64_t total() const { return total_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    /** Samples that landed in a bucket (total minus out-of-range). */
+    uint64_t inRange() const { return total_ - underflow_ - overflow_; }
 
-    /** Fraction of samples in bucket i (0 if empty histogram). */
+    /** Fraction of ALL samples in bucket i (0 if empty histogram).
+     *  Fractions sum to < 1 when any sample was out of range. */
     double
     fraction(size_t i) const
     {
         return total_ ? static_cast<double>(counts_[i]) / total_ : 0.0;
     }
 
-    /** Mean of the bucket midpoints weighted by counts. */
+    /** Mean of the bucket midpoints weighted by counts, over the
+     *  in-range samples only. */
     double mean() const;
+
+    void reset();
+
+    /** Add another histogram's counts. The shapes (bucket count and
+     *  width) must match; fatal otherwise. */
+    void merge(const Histogram &o);
+
+    /** Restore from exported parts (used by StatGroup::fromJson).
+     *  Recomputes total as in-range + underflow + overflow. */
+    void restore(std::vector<uint64_t> counts, uint64_t underflow,
+                 uint64_t overflow);
+
+    bool operator==(const Histogram &o) const;
 
   private:
     std::vector<uint64_t> counts_;
     double width_;
     uint64_t total_ = 0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
 };
 
 /** Geometric mean of a series of strictly positive values. */

@@ -51,6 +51,22 @@ std::string cell(int64_t v);
 std::string cell(uint64_t v);
 std::string cell(int v);
 
+class StatGroup;
+
+/**
+ * Render a metrics registry (common/metrics.hpp) as a
+ * metric/value/unit table: one row per counter, gauge, and derived
+ * metric, and a summary row (mean, total, out-of-range counts) per
+ * sample and histogram.
+ */
+Table statTable(const StatGroup &g);
+
+/**
+ * One bucket-level table per registered histogram (only non-empty
+ * buckets, with a percent-of-samples column), for verbose reports.
+ */
+std::vector<Table> histogramTables(const StatGroup &g);
+
 } // namespace cesp
 
 #endif // CESP_COMMON_TABLE_HPP

@@ -12,6 +12,37 @@
 
 namespace cesp::core {
 
+StatGroup
+SpeedupStudy::toGroup() const
+{
+    StatGroup g("cesp.speedup_study",
+                vlsi::technology(tech).name +
+                    " dep-based 2x4 vs window 8-way");
+    g.addGauge("clock_ratio", "ratio",
+               "dependence-based clock over window-based clock",
+               clock_ratio);
+    g.addGauge("mean_speedup", "ratio",
+               "arithmetic mean of per-workload overall speedups",
+               mean_speedup);
+    g.addGauge("mean_ipc_ratio", "ratio",
+               "arithmetic mean of per-workload IPC ratios",
+               mean_ipc_ratio);
+    for (const SpeedupEntry &e : entries) {
+        g.addGauge(e.workload + ".ipc_window", "ipc",
+                   "IPC on the 8-way 64-entry window machine",
+                   e.ipc_window);
+        g.addGauge(e.workload + ".ipc_dep", "ipc",
+                   "IPC on the 2x4 clustered dependence machine",
+                   e.ipc_dep);
+        g.addGauge(e.workload + ".ipc_ratio", "ratio",
+                   "dep-based IPC over window-based IPC",
+                   e.ipcRatio());
+        g.addGauge(e.workload + ".speedup", "ratio",
+                   "IPC ratio times clock ratio", e.speedup);
+    }
+    return g;
+}
+
 SpeedupStudy
 runSpeedupStudy(vlsi::Process tech)
 {

@@ -42,6 +42,14 @@ struct SpeedupStudy
     std::vector<SpeedupEntry> entries;
     double mean_speedup;     //!< arithmetic mean over workloads
     double mean_ipc_ratio;
+
+    /**
+     * Export the study as a metrics group: the clock ratio and means
+     * as gauges, then per-workload speedup/IPC-ratio gauges named
+     * `<workload>.speedup` etc. Renders through statTable and
+     * exports through StatGroup::toJson like any simulator group.
+     */
+    StatGroup toGroup() const;
 };
 
 /**

@@ -158,6 +158,19 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
     return results;
 }
 
+StatGroup
+mergedStats(const std::vector<uarch::SimStats> &results)
+{
+    if (results.empty())
+        return uarch::SimStats().group();
+    StatGroup merged = results.front().group();
+    merged.label() = "merged over " +
+                     std::to_string(results.size()) + " runs";
+    for (size_t i = 1; i < results.size(); ++i)
+        merged.merge(results[i].group());
+    return merged;
+}
+
 std::vector<uarch::SimStats>
 runSweep(const std::vector<uarch::SimConfig> &configs,
          trace::TraceView trace, unsigned jobs)

@@ -64,6 +64,21 @@ std::vector<uarch::SimStats>
 runSweep(const std::vector<uarch::SimConfig> &configs,
          trace::TraceView trace, unsigned jobs = 0);
 
+/**
+ * Merge per-run statistics into one aggregate StatGroup: counters
+ * add, samples and histograms combine, derived metrics recompute
+ * over the merged operands. All results must share a schema (same
+ * machine organization, in particular the same cluster count);
+ * mismatches are fatal. Empty input yields a default-constructed
+ * single-cluster group with every counter zero.
+ *
+ * Because counter merge is integer addition, the merge of N
+ * per-worker groups is exactly the single-threaded accumulation —
+ * the property the metrics test suite checks across runSweep worker
+ * counts.
+ */
+StatGroup mergedStats(const std::vector<uarch::SimStats> &results);
+
 namespace detail {
 
 /**

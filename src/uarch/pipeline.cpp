@@ -11,13 +11,89 @@
 
 namespace cesp::uarch {
 
+SimStats::SimStats(int num_clusters)
+    : num_clusters_(std::clamp(num_clusters, 1, kMaxClusters)),
+      group_("sim")
+{
+    // Registration order is the enum order in pipeline.hpp AND the
+    // export order: every metric below appears in reports, JSON, and
+    // CSV exactly once, exactly here.
+    group_.addCounter("cycles", "cycles", "Simulated clock cycles");
+    group_.addCounter("fetched", "instructions",
+                      "Instructions fetched (including wrong-path "
+                      "stall shadows)");
+    group_.addCounter("dispatched", "instructions",
+                      "Instructions renamed, steered, and inserted "
+                      "into the issue buffering");
+    group_.addCounter("issued", "instructions",
+                      "Instructions issued to functional units");
+    group_.addCounter("committed", "instructions",
+                      "Instructions retired in program order");
+    group_.addCounter("cond_branches", "instructions",
+                      "Conditional branches fetched");
+    group_.addCounter("mispredicts", "instructions",
+                      "Conditional branches mispredicted");
+    group_.addCounter("loads", "instructions", "Loads committed");
+    group_.addCounter("stores", "instructions", "Stores committed");
+    group_.addCounter("store_forwards", "instructions",
+                      "Loads satisfied by store-queue forwarding");
+    group_.addCounter("dcache_accesses", "accesses",
+                      "L1 data-cache accesses");
+    group_.addCounter("dcache_misses", "accesses",
+                      "L1 data-cache misses");
+    group_.addCounter("l2_accesses", "accesses",
+                      "L2 cache accesses (0 when no L2 configured)");
+    group_.addCounter("l2_misses", "accesses", "L2 cache misses");
+    group_.addCounter("intercluster_bypasses", "instructions",
+                      "Committed instructions that used an "
+                      "inter-cluster bypass (Sec. 5.6.4)");
+    group_.addCounter("steer_new_fifo", "instructions",
+                      "Steering: started a new FIFO (Sec. 5.1)");
+    group_.addCounter("steer_chain_left", "instructions",
+                      "Steering: chained behind the left source");
+    group_.addCounter("steer_chain_right", "instructions",
+                      "Steering: chained behind the right source");
+    group_.addCounter("dispatch_stall_buffer", "cycles",
+                      "Dispatch stalled: window/FIFO full");
+    group_.addCounter("dispatch_stall_regs", "cycles",
+                      "Dispatch stalled: no free physical register");
+    group_.addCounter("dispatch_stall_rob", "cycles",
+                      "Dispatch stalled: in-flight limit reached");
+    for (int c = 0; c < num_clusters_; ++c)
+        group_.addCounter(
+            strprintf("issued_cluster%d", c), "instructions",
+            strprintf("Instructions issued on cluster %d", c));
+    group_.addHistogram("buffer_occupancy", "entries",
+                        "Per-cycle occupancy of the issue buffering "
+                        "(window/FIFOs)", 160, 1.0);
+    group_.addHistogram("issue_sizes", "instructions",
+                        "Instructions issued per cycle", 17, 1.0);
+    group_.addDerived("ipc", "inst/cycle",
+                      "Committed instructions per cycle", "committed",
+                      "cycles");
+    group_.addDerived("mispredict_rate", "fraction",
+                      "Mispredicted fraction of conditional branches",
+                      "mispredicts", "cond_branches");
+    group_.addDerived("intercluster_pct", "%",
+                      "Committed instructions bypassing between "
+                      "clusters (Sec. 5.6.4)", "intercluster_bypasses",
+                      "committed", 100.0);
+    group_.addDerived("dcache_miss_rate", "fraction",
+                      "L1 data-cache miss rate", "dcache_misses",
+                      "dcache_accesses");
+    group_.addDerived("l2_miss_rate", "fraction",
+                      "L2 cache miss rate", "l2_misses",
+                      "l2_accesses");
+}
+
 Pipeline::Pipeline(const SimConfig &cfg, trace::TraceSource &src)
     : cfg_(cfg), src_(src), bpred_(bpred::makePredictor(cfg.bpred)),
       dcache_(cfg.dcache), rename_(cfg),
-      select_rng_(cfg.random_seed ^ 0x5e1ec7ULL)
+      select_rng_(cfg.random_seed ^ 0x5e1ec7ULL),
+      stats_(cfg.num_clusters)
 {
     cfg_.validate();
-    stats_.config_name = cfg_.name;
+    stats_.config_name() = cfg_.name;
 
     // Random selection shuffles the entire buffer and in-order issue
     // stalls on unready instructions — both are defined over the full
@@ -180,7 +256,7 @@ Pipeline::loadLatency(DynInst &inst)
 {
     if (stq_.forwardFrom(inst.seq, inst.op.mem_addr,
                          inst.op.mem_size)) {
-        ++stats_.store_forwards;
+        ++stats_.store_forwards();
         return cfg_.dcache.hit_latency;
     }
     mem::Cache::Access l1 = dcache_.access(inst.op.mem_addr, false);
@@ -230,7 +306,7 @@ Pipeline::completeIssue(DynInst &inst, int cluster, int latency)
             const PhysReg &pr = rename_.preg(p);
             if (pr.producing_cluster != cluster &&
                 now_ < pr.rf_visible[cluster]) {
-                ++stats_.intercluster_bypasses;
+                ++stats_.intercluster_bypasses();
                 break;
             }
         }
@@ -289,8 +365,8 @@ Pipeline::completeIssue(DynInst &inst, int cluster, int latency)
         if (h.pending_srcs == 0)
             scheduleReady(h, now_ + 1);
     }
-    ++stats_.issued;
-    ++stats_.issued_per_cluster[cluster];
+    ++stats_.issued();
+    ++stats_.issued_per_cluster(cluster);
     if (on_issue_)
         on_issue_(inst);
 }
@@ -432,7 +508,7 @@ Pipeline::doIssueEvent()
 {
     drainWakeups();
 
-    stats_.buffer_occupancy.add(static_cast<double>(bufferedCount()));
+    stats_.buffer_occupancy().add(static_cast<double>(bufferedCount()));
 
     // Iterate the ready set in place: the only mutation issuing can
     // make is erasing the entry just issued, and wakeups it schedules
@@ -457,7 +533,7 @@ Pipeline::doIssueEvent()
                 ++i; // kept; an issue shifts the next entry into i
         }
     }
-    stats_.issue_sizes.add(static_cast<double>(global_issued));
+    stats_.issue_sizes().add(static_cast<double>(global_issued));
 }
 
 void
@@ -497,9 +573,9 @@ Pipeline::maybeSkipIdle()
 
     // Cycles [now_, target) do nothing but sample per-cycle stats.
     uint64_t skipped = target - now_;
-    stats_.buffer_occupancy.add(static_cast<double>(bufferedCount()),
+    stats_.buffer_occupancy().add(static_cast<double>(bufferedCount()),
                                 skipped);
-    stats_.issue_sizes.add(0.0, skipped);
+    stats_.issue_sizes().add(0.0, skipped);
     now_ = target;
 }
 
@@ -539,7 +615,7 @@ Pipeline::doIssueScan()
         break;
     }
 
-    stats_.buffer_occupancy.add(static_cast<double>(bufferedCount()));
+    stats_.buffer_occupancy().add(static_cast<double>(bufferedCount()));
 
     int global_issued = 0;
     FuUsage usage;
@@ -552,7 +628,7 @@ Pipeline::doIssueScan()
         if (!issued_this && cfg_.in_order_issue)
             break;
     }
-    stats_.issue_sizes.add(static_cast<double>(global_issued));
+    stats_.issue_sizes().add(static_cast<double>(global_issued));
 }
 
 size_t
@@ -582,13 +658,13 @@ Pipeline::doCommit()
             if (!l1.hit && l2_)
                 l2_->access(head.op.mem_addr, true);
             stq_.commit(head.seq);
-            ++stats_.stores;
+            ++stats_.stores();
         } else if (head.op.isLoad()) {
-            ++stats_.loads;
+            ++stats_.loads();
         }
         if (head.old_preg >= 0)
             rename_.release(head.old_preg);
-        ++stats_.committed;
+        ++stats_.committed();
         ++rob_head_;
     }
 }
@@ -603,7 +679,7 @@ Pipeline::doDispatch()
         if (front.frontend_exit > now_)
             return;
         if (robFull()) {
-            ++stats_.dispatch_stall_rob;
+            ++stats_.dispatch_stall_rob();
             return;
         }
 
@@ -618,14 +694,14 @@ Pipeline::doDispatch()
             op.src2 > 0 ? rename_.mapOf(op.src2) : -1;
 
         if (op.hasDst() && !rename_.hasFreeFor(op.dst)) {
-            ++stats_.dispatch_stall_regs;
+            ++stats_.dispatch_stall_regs();
             return;
         }
 
         // Central-window capacity check (steering handles the rest).
         if (cfg_.style == IssueBufferStyle::CentralWindow &&
             windows_[0].full()) {
-            ++stats_.dispatch_stall_buffer;
+            ++stats_.dispatch_stall_buffer();
             return;
         }
 
@@ -633,20 +709,20 @@ Pipeline::doDispatch()
             inst, rename_, now_,
             [this](uint64_t s) -> const DynInst & { return rob(s); });
         if (!d.ok) {
-            ++stats_.dispatch_stall_buffer;
+            ++stats_.dispatch_stall_buffer();
             return;
         }
         inst.cluster = d.cluster;
         inst.fifo = d.fifo;
         switch (d.kind) {
           case SteerKind::NewFifo:
-            ++stats_.steer_new_fifo;
+            ++stats_.steer_new_fifo();
             break;
           case SteerKind::ChainLeft:
-            ++stats_.steer_chain_left;
+            ++stats_.steer_chain_left();
             break;
           case SteerKind::ChainRight:
-            ++stats_.steer_chain_right;
+            ++stats_.steer_chain_right();
             break;
           default:
             break;
@@ -685,7 +761,7 @@ Pipeline::doDispatch()
         if (event_driven_)
             wireDispatchEvents(rob_[inst.seq % rob_.size()]);
         fetch_q_.pop_front();
-        ++stats_.dispatched;
+        ++stats_.dispatched();
         if (on_dispatch_)
             on_dispatch_(rob_[inst.seq % rob_.size()]);
     }
@@ -714,16 +790,16 @@ Pipeline::doFetch()
         di.seq = next_seq_++;
         di.frontend_exit =
             now_ + static_cast<uint64_t>(cfg_.frontend_latency);
-        ++stats_.fetched;
+        ++stats_.fetched();
 
         if (op.isCondBranch()) {
-            ++stats_.cond_branches;
+            ++stats_.cond_branches();
             bool pred = cfg_.bpred.perfect ? op.taken
                                            : bpred_->predict(op.pc);
             bpred_->record(pred, op.taken);
             bpred_->update(op.pc, op.taken);
             if (pred != op.taken) {
-                ++stats_.mispredicts;
+                ++stats_.mispredicts();
                 di.mispredicted = true;
                 blocking_branch_ = di.seq;
                 fetch_q_.push_back(di);
@@ -755,13 +831,13 @@ Pipeline::run(uint64_t max_instructions)
         doCommit();
         doIssue();
         doDispatch();
-        if (stats_.fetched >= max_instructions)
+        if (stats_.fetched() >= max_instructions)
             trace_done_ = true;
         doFetch();
         ++now_;
 
-        if (stats_.committed != last_committed) {
-            last_committed = stats_.committed;
+        if (stats_.committed() != last_committed) {
+            last_committed = stats_.committed();
             last_progress_cycle = now_;
         } else if (now_ - last_progress_cycle > 100000) {
             panic("pipeline deadlock: no commit in 100000 cycles "
@@ -772,12 +848,12 @@ Pipeline::run(uint64_t max_instructions)
         maybeSkipIdle();
     }
 
-    stats_.cycles = now_;
-    stats_.dcache_accesses = dcache_.accesses();
-    stats_.dcache_misses = dcache_.misses();
+    stats_.cycles() = now_;
+    stats_.dcache_accesses() = dcache_.accesses();
+    stats_.dcache_misses() = dcache_.misses();
     if (l2_) {
-        stats_.l2_accesses = l2_->accesses();
-        stats_.l2_misses = l2_->misses();
+        stats_.l2_accesses() = l2_->accesses();
+        stats_.l2_misses() = l2_->misses();
     }
     return stats_;
 }

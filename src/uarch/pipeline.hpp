@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bpred/bpred.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/rng.hpp"
 #include "mem/cache.hpp"
@@ -48,76 +49,248 @@
 
 namespace cesp::uarch {
 
-/** End-of-run statistics. */
-struct SimStats
+/**
+ * End-of-run statistics, backed by a self-describing metrics registry
+ * (cesp::StatGroup): every counter, derived ratio, and histogram is
+ * registered once with a unit and description, which gives reports,
+ * JSON/CSV exports, merges, and whole-stats comparisons a single
+ * source of truth. The original field API survives as same-named thin
+ * accessors (`s.cycles()` where `s.cycles` used to be), all O(1)
+ * lookups into the registry's storage.
+ *
+ * Per-cluster counters are registered only for the configured cluster
+ * count, so reports and exports never show phantom always-zero
+ * clusters.
+ */
+class SimStats
 {
-    std::string config_name;
+  public:
+    explicit SimStats(int num_clusters = 1);
 
-    uint64_t cycles = 0;
-    uint64_t fetched = 0;
-    uint64_t dispatched = 0;
-    uint64_t issued = 0;
-    uint64_t committed = 0;
+    // --- thin accessors preserving the original field API ---
+    std::string &config_name() { return group_.label(); }
+    const std::string &config_name() const { return group_.label(); }
 
-    uint64_t cond_branches = 0;
-    uint64_t mispredicts = 0;
+    uint64_t &cycles() { return group_.counterAt(kCycles); }
+    uint64_t cycles() const { return group_.counterAt(kCycles); }
+    uint64_t &fetched() { return group_.counterAt(kFetched); }
+    uint64_t fetched() const { return group_.counterAt(kFetched); }
+    uint64_t &dispatched() { return group_.counterAt(kDispatched); }
+    uint64_t dispatched() const { return group_.counterAt(kDispatched); }
+    uint64_t &issued() { return group_.counterAt(kIssued); }
+    uint64_t issued() const { return group_.counterAt(kIssued); }
+    uint64_t &committed() { return group_.counterAt(kCommitted); }
+    uint64_t committed() const { return group_.counterAt(kCommitted); }
 
-    uint64_t loads = 0;
-    uint64_t stores = 0;
-    uint64_t store_forwards = 0;
-    uint64_t dcache_accesses = 0;
-    uint64_t dcache_misses = 0;
-    uint64_t l2_accesses = 0;
-    uint64_t l2_misses = 0;
+    uint64_t &cond_branches() { return group_.counterAt(kCondBranches); }
+    uint64_t cond_branches() const
+    {
+        return group_.counterAt(kCondBranches);
+    }
+    uint64_t &mispredicts() { return group_.counterAt(kMispredicts); }
+    uint64_t mispredicts() const
+    {
+        return group_.counterAt(kMispredicts);
+    }
+
+    uint64_t &loads() { return group_.counterAt(kLoads); }
+    uint64_t loads() const { return group_.counterAt(kLoads); }
+    uint64_t &stores() { return group_.counterAt(kStores); }
+    uint64_t stores() const { return group_.counterAt(kStores); }
+    uint64_t &store_forwards()
+    {
+        return group_.counterAt(kStoreForwards);
+    }
+    uint64_t store_forwards() const
+    {
+        return group_.counterAt(kStoreForwards);
+    }
+    uint64_t &dcache_accesses()
+    {
+        return group_.counterAt(kDcacheAccesses);
+    }
+    uint64_t dcache_accesses() const
+    {
+        return group_.counterAt(kDcacheAccesses);
+    }
+    uint64_t &dcache_misses()
+    {
+        return group_.counterAt(kDcacheMisses);
+    }
+    uint64_t dcache_misses() const
+    {
+        return group_.counterAt(kDcacheMisses);
+    }
+    uint64_t &l2_accesses() { return group_.counterAt(kL2Accesses); }
+    uint64_t l2_accesses() const
+    {
+        return group_.counterAt(kL2Accesses);
+    }
+    uint64_t &l2_misses() { return group_.counterAt(kL2Misses); }
+    uint64_t l2_misses() const { return group_.counterAt(kL2Misses); }
 
     /** Committed instructions that used an inter-cluster bypass. */
-    uint64_t intercluster_bypasses = 0;
+    uint64_t &intercluster_bypasses()
+    {
+        return group_.counterAt(kInterclusterBypasses);
+    }
+    uint64_t intercluster_bypasses() const
+    {
+        return group_.counterAt(kInterclusterBypasses);
+    }
 
     /** Section 5.1 steering-case counters (FIFO organizations). */
-    uint64_t steer_new_fifo = 0;
-    uint64_t steer_chain_left = 0;
-    uint64_t steer_chain_right = 0;
+    uint64_t &steer_new_fifo() { return group_.counterAt(kSteerNew); }
+    uint64_t steer_new_fifo() const
+    {
+        return group_.counterAt(kSteerNew);
+    }
+    uint64_t &steer_chain_left()
+    {
+        return group_.counterAt(kSteerLeft);
+    }
+    uint64_t steer_chain_left() const
+    {
+        return group_.counterAt(kSteerLeft);
+    }
+    uint64_t &steer_chain_right()
+    {
+        return group_.counterAt(kSteerRight);
+    }
+    uint64_t steer_chain_right() const
+    {
+        return group_.counterAt(kSteerRight);
+    }
 
-    uint64_t dispatch_stall_buffer = 0; //!< window/FIFO full cycles
-    uint64_t dispatch_stall_regs = 0;   //!< no free physical register
-    uint64_t dispatch_stall_rob = 0;    //!< in-flight limit reached
+    uint64_t &dispatch_stall_buffer() //!< window/FIFO full cycles
+    {
+        return group_.counterAt(kStallBuffer);
+    }
+    uint64_t dispatch_stall_buffer() const
+    {
+        return group_.counterAt(kStallBuffer);
+    }
+    uint64_t &dispatch_stall_regs() //!< no free physical register
+    {
+        return group_.counterAt(kStallRegs);
+    }
+    uint64_t dispatch_stall_regs() const
+    {
+        return group_.counterAt(kStallRegs);
+    }
+    uint64_t &dispatch_stall_rob() //!< in-flight limit reached
+    {
+        return group_.counterAt(kStallRob);
+    }
+    uint64_t dispatch_stall_rob() const
+    {
+        return group_.counterAt(kStallRob);
+    }
 
-    uint64_t issued_per_cluster[kMaxClusters] = {};
+    /** Clusters this run was configured with (registry rows exist
+     *  only for these). */
+    int numClusters() const { return num_clusters_; }
+
+    /** Issue count of cluster @p c; c must be < numClusters(). */
+    uint64_t &
+    issued_per_cluster(int c)
+    {
+        return group_.counterAt(kNumScalarCounters +
+                                static_cast<size_t>(c));
+    }
+    /** Issue count of cluster @p c (0 for unconfigured clusters). */
+    uint64_t
+    issued_per_cluster(int c) const
+    {
+        if (c < 0 || c >= num_clusters_)
+            return 0;
+        return group_.counterAt(kNumScalarCounters +
+                                static_cast<size_t>(c));
+    }
 
     /** Per-cycle occupancy of the issue buffering (window/FIFOs). */
-    Histogram buffer_occupancy{160, 1.0};
+    Histogram &buffer_occupancy()
+    {
+        return group_.histogramAt(kOccupancyHist);
+    }
+    const Histogram &buffer_occupancy() const
+    {
+        return group_.histogramAt(kOccupancyHist);
+    }
     /** Instructions issued per cycle. */
-    Histogram issue_sizes{17, 1.0};
-
-    double
-    ipc() const
+    Histogram &issue_sizes()
     {
-        return cycles ? static_cast<double>(committed) /
-            static_cast<double>(cycles) : 0.0;
+        return group_.histogramAt(kIssueSizeHist);
+    }
+    const Histogram &issue_sizes() const
+    {
+        return group_.histogramAt(kIssueSizeHist);
     }
 
-    double
-    mispredictRate() const
+    double ipc() const { return group_.derivedAt(kIpc); }
+    double mispredictRate() const
     {
-        return cond_branches ? static_cast<double>(mispredicts) /
-            static_cast<double>(cond_branches) : 0.0;
+        return group_.derivedAt(kMispredictRate);
     }
-
     /** Section 5.6.4 metric, in percent of committed instructions. */
-    double
-    interClusterPct() const
+    double interClusterPct() const
     {
-        return committed ? 100.0 *
-            static_cast<double>(intercluster_bypasses) /
-            static_cast<double>(committed) : 0.0;
+        return group_.derivedAt(kInterClusterPct);
+    }
+    double dcacheMissRate() const
+    {
+        return group_.derivedAt(kDcacheMissRate);
     }
 
-    double
-    dcacheMissRate() const
+    /** The backing registry: export, merge, compare, visit. */
+    StatGroup &group() { return group_; }
+    const StatGroup &group() const { return group_; }
+
+  private:
+    /** Storage indices of the scalar counters, in registration
+     *  order; per-cluster issue counters follow at
+     *  kNumScalarCounters + c. */
+    enum ScalarCounter : size_t
     {
-        return dcache_accesses ? static_cast<double>(dcache_misses) /
-            static_cast<double>(dcache_accesses) : 0.0;
-    }
+        kCycles,
+        kFetched,
+        kDispatched,
+        kIssued,
+        kCommitted,
+        kCondBranches,
+        kMispredicts,
+        kLoads,
+        kStores,
+        kStoreForwards,
+        kDcacheAccesses,
+        kDcacheMisses,
+        kL2Accesses,
+        kL2Misses,
+        kInterclusterBypasses,
+        kSteerNew,
+        kSteerLeft,
+        kSteerRight,
+        kStallBuffer,
+        kStallRegs,
+        kStallRob,
+        kNumScalarCounters,
+    };
+    enum DerivedId : size_t
+    {
+        kIpc,
+        kMispredictRate,
+        kInterClusterPct,
+        kDcacheMissRate,
+        kL2MissRate,
+    };
+    enum HistId : size_t
+    {
+        kOccupancyHist,
+        kIssueSizeHist,
+    };
+
+    int num_clusters_ = 1;
+    StatGroup group_;
 };
 
 /** The timing simulator. */

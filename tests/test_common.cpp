@@ -119,20 +119,60 @@ TEST(Sample, SingleValue)
     EXPECT_DOUBLE_EQ(s.mean(), -7.5);
 }
 
-TEST(Histogram, BucketsAndClamping)
+TEST(Histogram, BucketsAndOutOfRangeCounts)
 {
-    Histogram h(4, 1.0); // [0,1) [1,2) [2,3) [3,inf)
+    Histogram h(4, 1.0); // [0,1) [1,2) [2,3) [3,4)
     h.add(0.5);
     h.add(1.5);
     h.add(1.6);
-    h.add(100.0); // clamps to last bucket
-    h.add(-1.0);  // clamps to first bucket
+    h.add(100.0); // beyond the last bucket: counted as overflow
+    h.add(-1.0);  // below zero: counted as underflow
     EXPECT_EQ(h.total(), 5u);
-    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.inRange(), 3u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(1), 2u);
     EXPECT_EQ(h.bucket(2), 0u);
-    EXPECT_EQ(h.bucket(3), 1u);
-    EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+    EXPECT_EQ(h.bucket(3), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.4); // fractions of all samples
+}
+
+TEST(Histogram, MergeAddsBucketsAndOutOfRange)
+{
+    Histogram a(3, 1.0);
+    a.add(0.5);
+    a.add(-2.0);
+    Histogram b(3, 1.0);
+    b.add(0.5);
+    b.add(2.5);
+    b.add(7.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.bucket(0), 2u);
+    EXPECT_EQ(a.bucket(2), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_TRUE(a == a);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Sample, MergeCombinesExtremes)
+{
+    Sample a;
+    a.add(2.0);
+    a.add(4.0);
+    Sample b;
+    b.add(-1.0);
+    b.add(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.min(), -1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    Sample none;
+    a.merge(none); // empty right-hand side is a no-op
+    EXPECT_EQ(a.count(), 4u);
 }
 
 TEST(Histogram, MeanOfMidpoints)

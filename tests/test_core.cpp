@@ -97,8 +97,8 @@ TEST(Machine, RunProgramProducesStats)
 {
     Machine m(baseline8Way());
     auto s = m.runProgram("main: li t0, 1\n li t1, 2\n halt\n");
-    EXPECT_EQ(s.committed, 3u);
-    EXPECT_GT(s.cycles, 0u);
+    EXPECT_EQ(s.committed(), 3u);
+    EXPECT_GT(s.cycles(), 0u);
 }
 
 TEST(Machine, RunTraceUsesConfigName)
@@ -111,7 +111,7 @@ TEST(Machine, RunTraceUsesConfigName)
     buf.append(t);
     Machine m(dependence8x8());
     auto s = m.runTrace(buf);
-    EXPECT_EQ(s.config_name, "1-cluster.fifos.dispatch_steer");
+    EXPECT_EQ(s.config_name(), "1-cluster.fifos.dispatch_steer");
 }
 
 TEST(Machine, TraceCacheReturnsSameBuffer)
@@ -130,7 +130,7 @@ TEST(Machine, ReusableAcrossRuns)
     Machine m(baseline8Way());
     auto s1 = m.runProgram("main: li t0, 1\n halt\n");
     auto s2 = m.runProgram("main: li t0, 1\n halt\n");
-    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.cycles(), s2.cycles());
 }
 
 TEST(Report, SpeedupStudyShape)

@@ -8,7 +8,6 @@
 
 #include <gtest/gtest.h>
 
-#include <sstream>
 #include <vector>
 
 #include "core/presets.hpp"
@@ -23,36 +22,6 @@ using uarch::SimStats;
 
 namespace {
 
-/** Every per-run statistic, serialized for whole-struct comparison. */
-std::string
-fingerprint(const SimStats &s)
-{
-    std::ostringstream os;
-    os << "cycles=" << s.cycles << " fetched=" << s.fetched
-       << " dispatched=" << s.dispatched << " issued=" << s.issued
-       << " committed=" << s.committed
-       << " cond=" << s.cond_branches << " misp=" << s.mispredicts
-       << " loads=" << s.loads << " stores=" << s.stores
-       << " fwd=" << s.store_forwards
-       << " d$=" << s.dcache_accesses << "/" << s.dcache_misses
-       << " l2=" << s.l2_accesses << "/" << s.l2_misses
-       << " xbyp=" << s.intercluster_bypasses
-       << " steer=" << s.steer_new_fifo << "/" << s.steer_chain_left
-       << "/" << s.steer_chain_right
-       << " stall=" << s.dispatch_stall_buffer << "/"
-       << s.dispatch_stall_regs << "/" << s.dispatch_stall_rob
-       << " percl=";
-    for (uint64_t c : s.issued_per_cluster)
-        os << c << ",";
-    os << " occ=";
-    for (size_t b = 0; b < s.buffer_occupancy.buckets(); ++b)
-        os << s.buffer_occupancy.bucket(b) << ",";
-    os << " isz=";
-    for (size_t b = 0; b < s.issue_sizes.buckets(); ++b)
-        os << s.issue_sizes.bucket(b) << ",";
-    return os.str();
-}
-
 SimStats
 runWith(SimConfig cfg, IssueModel model, uint64_t trace_seed,
         uint64_t instructions = 20000)
@@ -64,13 +33,21 @@ runWith(SimConfig cfg, IssueModel model, uint64_t trace_seed,
     return uarch::simulate(cfg, buf);
 }
 
+/**
+ * Whole-stats equality through the metrics registry: sameValues
+ * compares every registered counter, sample, and histogram bucket
+ * (including per-cluster counters and histogram under/overflow), so
+ * a statistic added to SimStats is automatically part of the
+ * equivalence contract.
+ */
 void
 expectExact(const SimConfig &cfg, uint64_t trace_seed)
 {
     SimStats ev = runWith(cfg, IssueModel::EventDriven, trace_seed);
     SimStats scan = runWith(cfg, IssueModel::LegacyScan, trace_seed);
-    EXPECT_EQ(fingerprint(ev), fingerprint(scan))
-        << "config " << cfg.name << " trace seed " << trace_seed;
+    EXPECT_TRUE(ev.group().sameValues(scan.group()))
+        << "config " << cfg.name << " trace seed " << trace_seed
+        << "\n" << ev.group().diff(scan.group());
 }
 
 } // namespace

@@ -140,7 +140,7 @@ TEST(SelectPolicyTest, AllPoliciesCommitEverything)
         cfg.name = "pol";
         cfg.select_policy = pol;
         SimStats s = simulate(cfg, buf);
-        EXPECT_EQ(s.committed, 20000u);
+        EXPECT_EQ(s.committed(), 20000u);
     }
 }
 
@@ -173,7 +173,7 @@ TEST(SelectPolicyTest, RandomPolicyIsDeterministic)
     cfg.select_policy = SelectPolicy::Random;
     SimStats a = simulate(cfg, buf);
     SimStats b = simulate(cfg, buf);
-    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.cycles(), b.cycles());
 }
 
 // ---- predictor selection ------------------------------------------------------
@@ -217,7 +217,7 @@ TEST(BpredKindTest, AlwaysTakenMispredictsNotTakenBranches)
     cfg.name = "at";
     cfg.bpred.kind = BpredKind::AlwaysTaken;
     SimStats s = simulate(cfg, buf);
-    EXPECT_EQ(s.mispredicts, 10u);
+    EXPECT_EQ(s.mispredicts(), 10u);
 }
 
 TEST(BpredKindTest, PerfectPredictionNeverStalls)
@@ -232,8 +232,8 @@ TEST(BpredKindTest, PerfectPredictionNeverStalls)
     real.name = "real";
     SimStats sp1 = simulate(perfect, buf);
     SimStats sr = simulate(real, buf);
-    EXPECT_EQ(sp1.mispredicts, 0u);
-    EXPECT_GT(sr.mispredicts, 1000u);
+    EXPECT_EQ(sp1.mispredicts(), 0u);
+    EXPECT_GT(sr.mispredicts(), 1000u);
     EXPECT_GT(sp1.ipc(), sr.ipc());
 }
 
@@ -315,8 +315,8 @@ TEST(WidePresets, SixteenWideMachinesValidateAndRun)
 
     SimStats sw = simulate(win, buf);
     SimStats sd = simulate(dep, buf);
-    EXPECT_EQ(sw.committed, 30000u);
-    EXPECT_EQ(sd.committed, 30000u);
+    EXPECT_EQ(sw.committed(), 30000u);
+    EXPECT_EQ(sd.committed(), 30000u);
     EXPECT_GT(sw.ipc(), 5.0); // wide machine on parallel code
     EXPECT_GT(sd.ipc(), 3.0);
     // Extra width never hurts IPC (and, per the paper's message,
@@ -329,7 +329,7 @@ TEST(WidePresets, SixteenWideMachinesValidateAndRun)
     // Four clusters all participate.
     int active = 0;
     for (int c = 0; c < kMaxClusters; ++c)
-        active += sd.issued_per_cluster[c] > 0;
+        active += sd.issued_per_cluster(c) > 0;
     EXPECT_EQ(active, 4);
 }
 
@@ -343,7 +343,7 @@ TEST(InOrderIssue, SerialChainUnchanged)
     SimConfig ino;
     ino.name = "ino";
     ino.in_order_issue = true;
-    EXPECT_EQ(simulate(ooo, buf).cycles, simulate(ino, buf).cycles);
+    EXPECT_EQ(simulate(ooo, buf).cycles(), simulate(ino, buf).cycles());
 }
 
 TEST(InOrderIssue, IndependentOpsStillIssueWide)
@@ -411,7 +411,7 @@ TEST(InOrderIssue, StalledHeadBlocksYoungerReadyOps)
     ino.in_order_issue = true;
     SimStats so = simulate(ooo, buf);
     SimStats si = simulate(ino, buf);
-    EXPECT_GT(si.cycles, so.cycles + 3);
+    EXPECT_GT(si.cycles(), so.cycles() + 3);
 }
 
 TEST(InOrderIssue, AlwaysSlowerOrEqualToOutOfOrder)
@@ -471,7 +471,7 @@ TEST(FuMix, BranchUnitBottleneck)
     cfg.name = "br1";
     cfg.fu_mix = {4, 2, 1};
     SimStats s = simulate(cfg, buf);
-    EXPECT_EQ(s.committed, 2000u);
+    EXPECT_EQ(s.committed(), 2000u);
     EXPECT_LE(s.ipc(), 1.0 + 1e-9);
     EXPECT_GT(s.ipc(), 0.9);
 }
@@ -522,7 +522,7 @@ TEST(RingInterconnect, TwoClustersMatchBroadcast)
     ring.interconnect = ClusterInterconnect::Ring;
     SimStats a = simulate(bc, buf);
     SimStats b = simulate(ring, buf);
-    EXPECT_EQ(a.cycles, b.cycles); // identical at 2 clusters
+    EXPECT_EQ(a.cycles(), b.cycles()); // identical at 2 clusters
 }
 
 TEST(RingInterconnect, FourClustersRingIsSlower)
@@ -550,7 +550,7 @@ TEST(WindowCompaction, SlotPriorityCommitsEverything)
     cfg.name = "slot";
     cfg.window_compaction = false;
     SimStats s = simulate(cfg, buf);
-    EXPECT_EQ(s.committed, 20000u);
+    EXPECT_EQ(s.committed(), 20000u);
 }
 
 TEST(WindowCompaction, PerformanceCloseToCompacting)

@@ -182,7 +182,7 @@ TEST(Integration, IdealMachineHasNoInterClusterTraffic)
     auto &d = IntegrationData::get();
     for (const auto &w : workloads::workloadNames())
         EXPECT_EQ(d.stats("1-cluster.1window", w)
-                      .intercluster_bypasses, 0u) << w;
+                      .intercluster_bypasses(), 0u) << w;
 }
 
 TEST(Integration, ClusteredVariantsDoNotBeatIdeal)
@@ -219,7 +219,7 @@ TEST(Integration, MispredictionRatesAreSane)
     auto &d = IntegrationData::get();
     for (const auto &w : workloads::workloadNames()) {
         const auto &s = d.stats("1-cluster.1window", w);
-        EXPECT_GT(s.cond_branches, 1000u) << w;
+        EXPECT_GT(s.cond_branches(), 1000u) << w;
         EXPECT_LT(s.mispredictRate(), 0.35) << w;
     }
 }
@@ -229,7 +229,7 @@ TEST(Integration, CacheBehaviourIsSane)
     auto &d = IntegrationData::get();
     for (const auto &w : workloads::workloadNames()) {
         const auto &s = d.stats("1-cluster.1window", w);
-        EXPECT_GT(s.dcache_accesses, 1000u) << w;
+        EXPECT_GT(s.dcache_accesses(), 1000u) << w;
         EXPECT_LT(s.dcacheMissRate(), 0.35) << w;
     }
 }
@@ -244,6 +244,6 @@ loop:   addi t0, t0, 1
         blt t0, t1, loop
         halt
 )");
-    EXPECT_GT(s.committed, 200u);
+    EXPECT_GT(s.committed(), 200u);
     EXPECT_GT(s.ipc(), 0.5);
 }

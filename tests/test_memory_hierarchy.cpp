@@ -62,9 +62,9 @@ TEST(L2, ColdMissesPayMemoryLatency)
     SimStats f = simulate(flat, buf);
     SimStats l = simulate(with_l2, buf);
     // Cold misses that also miss the L2 pay 24 instead of 6 cycles.
-    EXPECT_GT(l.cycles, f.cycles * 3);
-    EXPECT_EQ(l.l2_accesses, 64u);
-    EXPECT_EQ(l.l2_misses, 64u);
+    EXPECT_GT(l.cycles(), f.cycles() * 3);
+    EXPECT_EQ(l.l2_accesses(), 64u);
+    EXPECT_EQ(l.l2_misses(), 64u);
 }
 
 TEST(L2, CapacityMissesCaughtByL2)
@@ -92,17 +92,17 @@ TEST(L2, CapacityMissesCaughtByL2)
     cfg.l2.enabled = true;
     cfg.l2.memory_latency = 24;
     SimStats s = simulate(cfg, buf);
-    EXPECT_GT(s.l2_accesses, 2048u); // both passes miss L1
+    EXPECT_GT(s.l2_accesses(), 2048u); // both passes miss L1
     // Second-pass accesses hit in the L2.
-    EXPECT_LT(s.l2_misses, s.l2_accesses);
-    EXPECT_NEAR(static_cast<double>(s.l2_misses), 2048.0, 64.0);
+    EXPECT_LT(s.l2_misses(), s.l2_accesses());
+    EXPECT_NEAR(static_cast<double>(s.l2_misses()), 2048.0, 64.0);
 }
 
 TEST(L2, DisabledByDefault)
 {
     trace::TraceBuffer buf = strideLoads(8, 4096);
     SimStats s = simulate(SimConfig{}, buf);
-    EXPECT_EQ(s.l2_accesses, 0u);
+    EXPECT_EQ(s.l2_accesses(), 0u);
 }
 
 TEST(L2DeathTest, MemoryLatencyMustCoverL2Hit)

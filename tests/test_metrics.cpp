@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests of the self-describing metrics registry: registration and
+ * export ordering, the golden JSON schema, lossless round-trips,
+ * the merge algebra (including the sweep-level property that merging
+ * per-worker groups equals single-threaded accumulation), and the
+ * per-cluster bounding of the simulator's registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/presets.hpp"
+#include "core/sweep.hpp"
+#include "trace/synthetic.hpp"
+#include "uarch/pipeline.hpp"
+
+using namespace cesp;
+using uarch::SimStats;
+
+namespace {
+
+/** A small group exercising every StatKind. */
+StatGroup
+demoGroup()
+{
+    StatGroup g("demo", "cfg-a");
+    g.addCounter("ticks", "cycles", "elapsed cycles", 40);
+    g.addCounter("work", "ops", "operations completed", 10);
+    g.addGauge("clock_mhz", "MHz", "estimated clock", 250.5);
+    g.addDerived("rate", "ops/cycle", "work per cycle", "work",
+                 "ticks");
+    size_t s = g.addSample("latency", "cycles", "operation latency");
+    g.sampleAt(s).add(2.0);
+    g.sampleAt(s).add(6.0);
+    size_t h = g.addHistogram("occupancy", "entries",
+                              "buffer occupancy", 3, 1.0);
+    g.histogramAt(h).add(0.5);
+    g.histogramAt(h).add(1.5);
+    g.histogramAt(h).add(5.0);  // overflow
+    g.histogramAt(h).add(-1.0); // underflow
+    return g;
+}
+
+SimStats
+simulatePreset(const uarch::SimConfig &cfg, uint64_t seed,
+               uint64_t instructions = 5000)
+{
+    trace::SyntheticParams sp;
+    sp.seed = seed;
+    trace::TraceBuffer buf =
+        trace::generateSynthetic(sp, instructions);
+    return uarch::simulate(cfg, buf);
+}
+
+} // namespace
+
+TEST(StatGroup, RegistrationOrderIsExportOrder)
+{
+    StatGroup g = demoGroup();
+    std::vector<std::string> names;
+    for (const StatEntry &e : g.entries())
+        names.push_back(e.name);
+    std::vector<std::string> expect = {"ticks",   "work", "clock_mhz",
+                                       "rate",    "latency",
+                                       "occupancy"};
+    EXPECT_EQ(names, expect);
+    // Export is deterministic: two renderings are byte-identical.
+    EXPECT_EQ(g.toJson(), g.toJson());
+    EXPECT_EQ(g.toCsv(), g.toCsv());
+}
+
+TEST(StatGroup, NamedAccess)
+{
+    StatGroup g = demoGroup();
+    EXPECT_EQ(g.counter("ticks"), 40u);
+    EXPECT_DOUBLE_EQ(g.value("clock_mhz"), 250.5);
+    EXPECT_DOUBLE_EQ(g.value("rate"), 0.25); // 10 / 40
+    EXPECT_EQ(g.find("nope"), nullptr);
+    ASSERT_NE(g.find("occupancy"), nullptr);
+    EXPECT_EQ(g.find("occupancy")->kind, StatKind::Histogram);
+}
+
+/**
+ * The golden export: any change to the document layout, key order,
+ * or value formatting must be deliberate (bump kStatsSchemaVersion
+ * when the schema changes shape).
+ */
+TEST(StatGroup, GoldenJson)
+{
+    const char *golden = R"({
+  "schema": "cesp.statgroup",
+  "schema_version": 1,
+  "group": "demo",
+  "label": "cfg-a",
+  "metrics": [
+    {
+      "name": "ticks",
+      "kind": "counter",
+      "unit": "cycles",
+      "desc": "elapsed cycles",
+      "value": 40
+    },
+    {
+      "name": "work",
+      "kind": "counter",
+      "unit": "ops",
+      "desc": "operations completed",
+      "value": 10
+    },
+    {
+      "name": "clock_mhz",
+      "kind": "gauge",
+      "unit": "MHz",
+      "desc": "estimated clock",
+      "value": 250.5
+    },
+    {
+      "name": "rate",
+      "kind": "derived",
+      "unit": "ops/cycle",
+      "desc": "work per cycle",
+      "num": "work",
+      "den": "ticks",
+      "scale": 1,
+      "value": 0.25
+    },
+    {
+      "name": "latency",
+      "kind": "sample",
+      "unit": "cycles",
+      "desc": "operation latency",
+      "count": 2,
+      "sum": 8,
+      "min": 2,
+      "max": 6
+    },
+    {
+      "name": "occupancy",
+      "kind": "histogram",
+      "unit": "entries",
+      "desc": "buffer occupancy",
+      "width": 1,
+      "total": 4,
+      "underflow": 1,
+      "overflow": 1,
+      "counts": [
+        1,
+        1,
+        0
+      ]
+    }
+  ]
+})";
+    EXPECT_EQ(demoGroup().toJson(), std::string(golden) + "\n");
+}
+
+TEST(StatGroup, JsonRoundTripSmallGroup)
+{
+    StatGroup g = demoGroup();
+    StatGroup back;
+    std::string err;
+    ASSERT_TRUE(StatGroup::fromJson(g.toJson(), back, &err)) << err;
+    EXPECT_TRUE(g.sameSchema(back));
+    EXPECT_TRUE(g.sameValues(back)) << g.diff(back);
+    EXPECT_EQ(g.toJson(), back.toJson());
+}
+
+TEST(StatGroup, JsonRoundTripSimulatorGroup)
+{
+    // The full simulator registry: 20+ counters, derived ratios with
+    // irrational values, two histograms, per-cluster counters.
+    SimStats s = simulatePreset(core::clusteredDependence2x4(), 7);
+    const StatGroup &g = s.group();
+    StatGroup back;
+    std::string err;
+    ASSERT_TRUE(StatGroup::fromJson(g.toJson(), back, &err)) << err;
+    EXPECT_TRUE(g.sameValues(back)) << g.diff(back);
+    EXPECT_EQ(g.toJson(), back.toJson());
+}
+
+TEST(StatGroup, FromJsonRejectsGarbage)
+{
+    StatGroup back;
+    std::string err;
+    EXPECT_FALSE(StatGroup::fromJson("{", back, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(StatGroup::fromJson("[1,2,3]", back, &err));
+    // Wrong schema version must be refused, not misparsed.
+    std::string doc = demoGroup().toJson();
+    size_t at = doc.find("\"schema_version\": 1");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 19, "\"schema_version\": 99");
+    EXPECT_FALSE(StatGroup::fromJson(doc, back, &err));
+}
+
+TEST(StatGroup, ResetZeroesValuesKeepsSchema)
+{
+    StatGroup g = demoGroup();
+    StatGroup zero = demoGroup();
+    zero.reset();
+    EXPECT_TRUE(g.sameSchema(zero));
+    EXPECT_FALSE(g.sameValues(zero));
+    EXPECT_EQ(zero.counter("ticks"), 0u);
+    EXPECT_DOUBLE_EQ(zero.value("clock_mhz"), 0.0);
+    ASSERT_NE(zero.find("occupancy"), nullptr);
+    EXPECT_EQ(
+        zero.histogramAt(zero.find("occupancy")->store).total(), 0u);
+}
+
+TEST(StatGroup, MergeAddsEveryKind)
+{
+    StatGroup a = demoGroup();
+    a.merge(demoGroup());
+    EXPECT_EQ(a.counter("ticks"), 80u);
+    EXPECT_DOUBLE_EQ(a.value("clock_mhz"), 501.0);
+    EXPECT_DOUBLE_EQ(a.value("rate"), 0.25); // recomputed, not added
+    const StatEntry *h = a.find("occupancy");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(a.histogramAt(h->store).total(), 8u);
+    EXPECT_EQ(a.histogramAt(h->store).underflow(), 2u);
+    EXPECT_EQ(a.histogramAt(h->store).overflow(), 2u);
+    const StatEntry *l = a.find("latency");
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(a.sampleAt(l->store).count(), 4u);
+}
+
+TEST(StatGroup, DiffNamesTheDifferingEntry)
+{
+    StatGroup a = demoGroup();
+    StatGroup b = demoGroup();
+    b.counterAt(0) += 5; // ticks
+    std::string d = a.diff(b);
+    EXPECT_NE(d.find("ticks"), std::string::npos);
+    EXPECT_EQ(d.find("work"), std::string::npos);
+}
+
+/**
+ * The sweep-level merge property: merging the per-task groups of a
+ * parallel run equals merging those of the serial run, for any
+ * worker count — registry merge commutes with how the work was
+ * scheduled. This is what makes per-preset aggregates in `cesp-sim
+ * --sweep --jobs N` independent of N.
+ */
+TEST(StatGroup, SweepMergeEqualsSerialAccumulation)
+{
+    trace::SyntheticParams sp;
+    sp.seed = 11;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 4000);
+    sp.seed = 12;
+    sp.working_set = 256 * 1024;
+    trace::TraceBuffer miss = trace::generateSynthetic(sp, 4000);
+
+    std::vector<core::SweepTask> tasks;
+    for (int i = 0; i < 6; ++i)
+        tasks.push_back({core::clusteredDependence2x4(),
+                         i % 2 ? miss : buf});
+
+    std::vector<SimStats> serial = core::runSweep(tasks, 1);
+    StatGroup reference = core::mergedStats(serial);
+
+    // Hand accumulation of a few counters checks mergedStats itself.
+    uint64_t cycles = 0, committed = 0, hist_total = 0;
+    for (const SimStats &s : serial) {
+        cycles += s.cycles();
+        committed += s.committed();
+        hist_total += s.buffer_occupancy().total();
+    }
+    EXPECT_EQ(reference.counter("cycles"), cycles);
+    EXPECT_EQ(reference.counter("committed"), committed);
+    const StatEntry *h = reference.find("buffer_occupancy");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(reference.histogramAt(h->store).total(), hist_total);
+
+    for (unsigned jobs : {2u, 4u}) {
+        std::vector<SimStats> par = core::runSweep(tasks, jobs);
+        StatGroup merged = core::mergedStats(par);
+        EXPECT_TRUE(merged.sameValues(reference))
+            << jobs << " workers\n" << merged.diff(reference);
+    }
+}
+
+TEST(StatGroup, MergedStatsOfNothingIsEmptyGroup)
+{
+    StatGroup g = core::mergedStats({});
+    EXPECT_EQ(g.counter("cycles"), 0u);
+    EXPECT_EQ(g.find("issued_cluster1"), nullptr);
+}
+
+/**
+ * Per-cluster counters exist only for configured clusters: a
+ * 2-cluster machine exports issued_cluster0/1 and nothing more, so
+ * reports and JSON carry no phantom always-zero clusters.
+ */
+TEST(SimStats, PerClusterCountersBoundedByConfig)
+{
+    SimStats two = simulatePreset(core::clusteredDependence2x4(), 3);
+    EXPECT_NE(two.group().find("issued_cluster0"), nullptr);
+    EXPECT_NE(two.group().find("issued_cluster1"), nullptr);
+    EXPECT_EQ(two.group().find("issued_cluster2"), nullptr);
+    EXPECT_EQ(two.group().toJson().find("issued_cluster2"),
+              std::string::npos);
+    EXPECT_EQ(two.numClusters(), 2);
+
+    SimStats one = simulatePreset(core::baseline8Way(), 3);
+    EXPECT_NE(one.group().find("issued_cluster0"), nullptr);
+    EXPECT_EQ(one.group().find("issued_cluster1"), nullptr);
+    const SimStats &cone = one;
+    EXPECT_EQ(cone.issued_per_cluster(0), cone.issued());
+    EXPECT_EQ(cone.issued_per_cluster(1), 0u); // const: safe read
+}
+
+TEST(SimStats, ExportCarriesEveryReportedMetric)
+{
+    // Everything cesp-sim prints must be in the export: the headline
+    // derived metrics, the stall breakdown, and the occupancy
+    // histogram with its out-of-range counts.
+    SimStats s = simulatePreset(core::dependence8x8(), 5);
+    std::string json = s.group().toJson();
+    for (const char *key :
+         {"\"ipc\"", "\"mispredict_rate\"", "\"intercluster_pct\"",
+          "\"dcache_miss_rate\"", "\"dispatch_stall_buffer\"",
+          "\"dispatch_stall_regs\"", "\"dispatch_stall_rob\"",
+          "\"buffer_occupancy\"", "\"issue_sizes\"",
+          "\"underflow\"", "\"overflow\"", "\"schema_version\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(StatGroup, CsvListsEveryMetric)
+{
+    StatGroup g = demoGroup();
+    std::string csv = g.toCsv();
+    EXPECT_NE(csv.find("# cesp.statgroup schema_version=1"),
+              std::string::npos);
+    EXPECT_NE(csv.find("ticks,counter,cycles,40"),
+              std::string::npos);
+    EXPECT_NE(csv.find("occupancy.underflow"), std::string::npos);
+    EXPECT_NE(csv.find("occupancy.overflow"), std::string::npos);
+    EXPECT_NE(csv.find("latency.sum"), std::string::npos);
+}

@@ -135,8 +135,8 @@ TEST(Pipeline, EmptyTraceTerminates)
 {
     TraceBuffer empty;
     SimStats s = simulate(windowCfg(), empty);
-    EXPECT_EQ(s.committed, 0u);
-    EXPECT_LT(s.cycles, 5u);
+    EXPECT_EQ(s.committed(), 0u);
+    EXPECT_LT(s.cycles(), 5u);
 }
 
 TEST(Pipeline, SerialChainIssuesBackToBack)
@@ -148,7 +148,7 @@ TEST(Pipeline, SerialChainIssuesBackToBack)
         tb.alu(1, 1); // each reads the previous result
     std::map<uint64_t, uint64_t> issue;
     SimStats s = runWithIssueCycles(windowCfg(), tb.buf(), issue);
-    EXPECT_EQ(s.committed, static_cast<uint64_t>(n));
+    EXPECT_EQ(s.committed(), static_cast<uint64_t>(n));
     // Dependent single-cycle ops issue in consecutive cycles (the
     // atomic wakeup+select property of Section 4.5).
     for (int i = 1; i < n; ++i)
@@ -165,7 +165,7 @@ TEST(Pipeline, IndependentOpsSaturateMachineWidth)
     for (int i = 0; i < n; ++i)
         tb.alu(1 + (i % 24));
     SimStats s = simulate(windowCfg(), tb.buf());
-    EXPECT_EQ(s.committed, static_cast<uint64_t>(n));
+    EXPECT_EQ(s.committed(), static_cast<uint64_t>(n));
     EXPECT_GT(s.ipc(), 7.0); // 8-wide minus fill
 }
 
@@ -226,7 +226,7 @@ TEST(Pipeline, CacheHitLoadLatencyIsOneCycle)
         tb.load(1, 0x2000, 1); // dependent hits, 1 cycle apart
     std::map<uint64_t, uint64_t> issue;
     SimStats s = runWithIssueCycles(windowCfg(), tb.buf(), issue);
-    EXPECT_EQ(s.dcache_misses, 1u);
+    EXPECT_EQ(s.dcache_misses(), 1u);
     for (int i = 2; i <= n; ++i)
         EXPECT_EQ(issue[static_cast<uint64_t>(i)],
                   issue[static_cast<uint64_t>(i - 1)] + 1)
@@ -243,7 +243,7 @@ TEST(Pipeline, CacheMissCostsSixCycles)
                 i == 0 ? -1 : 1);
     std::map<uint64_t, uint64_t> issue;
     SimStats s = runWithIssueCycles(windowCfg(), tb.buf(), issue);
-    EXPECT_EQ(s.dcache_misses, static_cast<uint64_t>(n));
+    EXPECT_EQ(s.dcache_misses(), static_cast<uint64_t>(n));
     for (int i = 1; i < n; ++i)
         EXPECT_EQ(issue[static_cast<uint64_t>(i)],
                   issue[static_cast<uint64_t>(i - 1)] + 6)
@@ -262,7 +262,7 @@ TEST(Pipeline, StoreToLoadForwardingAvoidsCacheLatency)
         tb.alu(1, 1);
     std::map<uint64_t, uint64_t> issue;
     SimStats s = runWithIssueCycles(windowCfg(), tb.buf(), issue);
-    EXPECT_GE(s.store_forwards, 1u);
+    EXPECT_GE(s.store_forwards(), 1u);
     // The load's dependent issues one cycle after the load.
     EXPECT_EQ(issue[3], issue[2] + 1);
 }
@@ -296,7 +296,7 @@ TEST(Pipeline, MispredictedBranchStallsFetch)
     for (int i = 0; i < 16; ++i)
         tb1.alu(1 + i % 8);
     SimStats ok = simulate(windowCfg(), tb1.buf());
-    EXPECT_EQ(ok.mispredicts, 0u);
+    EXPECT_EQ(ok.mispredicts(), 0u);
 
     TraceBuilder tb2;
     for (int i = 0; i < 16; ++i)
@@ -305,10 +305,10 @@ TEST(Pipeline, MispredictedBranchStallsFetch)
     for (int i = 0; i < 16; ++i)
         tb2.alu(1 + i % 8);
     SimStats bad = simulate(windowCfg(), tb2.buf());
-    EXPECT_EQ(bad.mispredicts, 1u);
-    EXPECT_EQ(bad.cond_branches, 1u);
+    EXPECT_EQ(bad.mispredicts(), 1u);
+    EXPECT_EQ(bad.cond_branches(), 1u);
     // The refill penalty shows up as extra cycles.
-    EXPECT_GE(bad.cycles, ok.cycles + 3);
+    EXPECT_GE(bad.cycles(), ok.cycles() + 3);
 }
 
 TEST(Pipeline, MispredictResolutionWaitsForBranchOperand)
@@ -325,11 +325,11 @@ TEST(Pipeline, MispredictResolutionWaitsForBranchOperand)
         tb.alu(1);
     std::map<uint64_t, uint64_t> issue;
     SimStats s = runWithIssueCycles(windowCfg(), tb.buf(), issue);
-    EXPECT_EQ(s.mispredicts, 1u);
+    EXPECT_EQ(s.mispredicts(), 1u);
     // Post-branch instructions issue only after the branch resolves.
     EXPECT_GT(issue[chain + 1], issue[chain]);
     // cycles ~ chain + refill, far above the no-dependence case.
-    EXPECT_GE(s.cycles, static_cast<uint64_t>(chain + 6));
+    EXPECT_GE(s.cycles(), static_cast<uint64_t>(chain + 6));
 }
 
 TEST(Pipeline, WindowFullCausesDispatchStalls)
@@ -344,7 +344,7 @@ TEST(Pipeline, WindowFullCausesDispatchStalls)
     SimConfig c = windowCfg();
     c.window_size = 8;
     SimStats s = simulate(c, tb.buf());
-    EXPECT_GT(s.dispatch_stall_buffer, 0u);
+    EXPECT_GT(s.dispatch_stall_buffer(), 0u);
 }
 
 TEST(Pipeline, RobLimitCausesDispatchStalls)
@@ -357,7 +357,7 @@ TEST(Pipeline, RobLimitCausesDispatchStalls)
     c.max_inflight = 16;
     c.window_size = 16;
     SimStats s = simulate(c, tb.buf());
-    EXPECT_GT(s.dispatch_stall_rob, 0u);
+    EXPECT_GT(s.dispatch_stall_rob(), 0u);
 }
 
 TEST(Pipeline, PhysRegExhaustionCausesDispatchStalls)
@@ -372,7 +372,7 @@ TEST(Pipeline, PhysRegExhaustionCausesDispatchStalls)
     SimConfig c = windowCfg();
     c.phys_int_regs = 40; // only 8 renames in flight
     SimStats s = simulate(c, tb.buf());
-    EXPECT_GT(s.dispatch_stall_regs, 0u);
+    EXPECT_GT(s.dispatch_stall_regs(), 0u);
 }
 
 TEST(Pipeline, LsPortsLimitLoadIssue)
@@ -400,7 +400,7 @@ TEST(Pipeline, FifoMachineSerialChainAlsoBackToBack)
         tb.alu(1, 1);
     std::map<uint64_t, uint64_t> issue;
     SimStats s = runWithIssueCycles(fifoCfg(), tb.buf(), issue);
-    EXPECT_EQ(s.committed, static_cast<uint64_t>(n));
+    EXPECT_EQ(s.committed(), static_cast<uint64_t>(n));
     for (int i = 1; i < n; ++i)
         EXPECT_EQ(issue[static_cast<uint64_t>(i)],
                   issue[static_cast<uint64_t>(i - 1)] + 1)
@@ -452,9 +452,9 @@ TEST(Pipeline, ClusteredInterClusterBypassCounted)
     cfg.fifos_per_cluster = 4;
     cfg.fus_per_cluster = 4;
     SimStats s = simulate(cfg, tb.buf());
-    EXPECT_GE(s.intercluster_bypasses, 1u);
-    EXPECT_GT(s.issued_per_cluster[0], 0u);
-    EXPECT_GT(s.issued_per_cluster[1], 0u);
+    EXPECT_GE(s.intercluster_bypasses(), 1u);
+    EXPECT_GT(s.issued_per_cluster(0), 0u);
+    EXPECT_GT(s.issued_per_cluster(1), 0u);
 }
 
 TEST(Pipeline, InterClusterLatencySlowsCrossClusterConsumer)
@@ -488,10 +488,10 @@ TEST(Pipeline, DeterministicAcrossRuns)
     trace::TraceBuffer buf = trace::generateSynthetic(sp, 20000);
     SimStats a = simulate(windowCfg(), buf);
     SimStats b = simulate(windowCfg(), buf);
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.committed, b.committed);
-    EXPECT_EQ(a.mispredicts, b.mispredicts);
-    EXPECT_EQ(a.dcache_misses, b.dcache_misses);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.committed(), b.committed());
+    EXPECT_EQ(a.mispredicts(), b.mispredicts());
+    EXPECT_EQ(a.dcache_misses(), b.dcache_misses());
 }
 
 TEST(Pipeline, HaltStopsFetchEarly)
@@ -505,7 +505,7 @@ TEST(Pipeline, HaltStopsFetchEarly)
     for (int i = 0; i < 8; ++i)
         tb.alu(1 + i); // beyond the halt: never fetched
     SimStats s = simulate(windowCfg(), tb.buf());
-    EXPECT_EQ(s.committed, 9u);
+    EXPECT_EQ(s.committed(), 9u);
 }
 
 TEST(Pipeline, MaxInstructionCapRespected)
@@ -514,8 +514,8 @@ TEST(Pipeline, MaxInstructionCapRespected)
     for (int i = 0; i < 100; ++i)
         tb.alu(1 + i % 8);
     SimStats s = simulate(windowCfg(), tb.buf(), 40);
-    EXPECT_LE(s.committed, 48u); // cap checked at fetch granularity
-    EXPECT_GE(s.committed, 40u);
+    EXPECT_LE(s.committed(), 48u); // cap checked at fetch granularity
+    EXPECT_GE(s.committed(), 40u);
 }
 
 TEST(Pipeline, StatsAccountingConsistent)
@@ -523,13 +523,16 @@ TEST(Pipeline, StatsAccountingConsistent)
     trace::SyntheticParams sp;
     trace::TraceBuffer buf = trace::generateSynthetic(sp, 10000);
     SimStats s = simulate(windowCfg(), buf);
-    EXPECT_EQ(s.committed, s.issued);
-    EXPECT_EQ(s.committed, s.dispatched);
-    EXPECT_EQ(s.committed, s.fetched);
+    EXPECT_EQ(s.committed(), s.issued());
+    EXPECT_EQ(s.committed(), s.dispatched());
+    EXPECT_EQ(s.committed(), s.fetched());
+    // Read through a const view: unconfigured clusters have no
+    // registry row and must read as zero.
+    const SimStats &cs = s;
     uint64_t per_cluster = 0;
     for (int c = 0; c < kMaxClusters; ++c)
-        per_cluster += s.issued_per_cluster[c];
-    EXPECT_EQ(per_cluster, s.issued);
+        per_cluster += cs.issued_per_cluster(c);
+    EXPECT_EQ(per_cluster, cs.issued());
 }
 
 TEST(PipelineDeathTest, RunIsSingleUse)

@@ -111,20 +111,23 @@ TEST_P(PipelineFuzz, InvariantsHoldForRandomConfig)
     SimStats s = simulate(cfg, buf);
 
     // Conservation: everything fetched flows through every stage.
-    EXPECT_EQ(s.committed, buf.size()) << cfg.name;
-    EXPECT_EQ(s.fetched, s.committed) << cfg.name;
-    EXPECT_EQ(s.dispatched, s.committed) << cfg.name;
-    EXPECT_EQ(s.issued, s.committed) << cfg.name;
+    EXPECT_EQ(s.committed(), buf.size()) << cfg.name;
+    EXPECT_EQ(s.fetched(), s.committed()) << cfg.name;
+    EXPECT_EQ(s.dispatched(), s.committed()) << cfg.name;
+    EXPECT_EQ(s.issued(), s.committed()) << cfg.name;
 
-    // Per-cluster issue accounting sums to the total.
+    // Per-cluster issue accounting sums to the total. Reads go
+    // through the const accessor, which returns zero for clusters
+    // beyond the configured count (no registry row exists for them).
+    const SimStats &cs = s;
     uint64_t per_cluster = 0;
     for (int c = 0; c < kMaxClusters; ++c) {
         if (c >= cfg.num_clusters) {
-            EXPECT_EQ(s.issued_per_cluster[c], 0u) << cfg.name;
+            EXPECT_EQ(cs.issued_per_cluster(c), 0u) << cfg.name;
         }
-        per_cluster += s.issued_per_cluster[c];
+        per_cluster += cs.issued_per_cluster(c);
     }
-    EXPECT_EQ(per_cluster, s.issued) << cfg.name;
+    EXPECT_EQ(per_cluster, s.issued()) << cfg.name;
 
     // IPC bounded by the narrowest machine width.
     double width = std::min({cfg.fetch_width, cfg.issue_width,
@@ -133,22 +136,22 @@ TEST_P(PipelineFuzz, InvariantsHoldForRandomConfig)
     EXPECT_GT(s.ipc(), 0.0) << cfg.name;
 
     // Branch accounting.
-    EXPECT_LE(s.mispredicts, s.cond_branches) << cfg.name;
+    EXPECT_LE(s.mispredicts(), s.cond_branches()) << cfg.name;
 
     // Single-cluster machines never use inter-cluster bypasses.
     if (cfg.num_clusters == 1) {
-        EXPECT_EQ(s.intercluster_bypasses, 0u) << cfg.name;
+        EXPECT_EQ(s.intercluster_bypasses(), 0u) << cfg.name;
     }
-    EXPECT_LE(s.intercluster_bypasses, s.committed) << cfg.name;
+    EXPECT_LE(s.intercluster_bypasses(), s.committed()) << cfg.name;
 
     // Histograms cover every simulated cycle.
-    EXPECT_EQ(s.issue_sizes.total(), s.cycles) << cfg.name;
-    EXPECT_EQ(s.buffer_occupancy.total(), s.cycles) << cfg.name;
+    EXPECT_EQ(s.issue_sizes().total(), s.cycles()) << cfg.name;
+    EXPECT_EQ(s.buffer_occupancy().total(), s.cycles()) << cfg.name;
 
     // Determinism.
     SimStats again = simulate(cfg, buf);
-    EXPECT_EQ(again.cycles, s.cycles) << cfg.name;
-    EXPECT_EQ(again.intercluster_bypasses, s.intercluster_bypasses)
+    EXPECT_EQ(again.cycles(), s.cycles()) << cfg.name;
+    EXPECT_EQ(again.intercluster_bypasses(), s.intercluster_bypasses())
         << cfg.name;
 }
 
@@ -167,7 +170,7 @@ TEST(PipelineFuzzExtra, TightResourceCornerCases)
         c.name = "tiny-window";
         c.window_size = 2;
         SimStats s = simulate(c, buf);
-        EXPECT_EQ(s.committed, 8000u);
+        EXPECT_EQ(s.committed(), 8000u);
     }
     {
         SimConfig c;
@@ -177,7 +180,7 @@ TEST(PipelineFuzzExtra, TightResourceCornerCases)
         c.fifos_per_cluster = 1;
         c.fifo_depth = 1;
         SimStats s = simulate(c, buf);
-        EXPECT_EQ(s.committed, 8000u);
+        EXPECT_EQ(s.committed(), 8000u);
         EXPECT_LE(s.ipc(), 1.0 + 1e-9);
     }
     {
@@ -186,14 +189,14 @@ TEST(PipelineFuzzExtra, TightResourceCornerCases)
         c.phys_int_regs = 33; // a single rename in flight per class
         c.phys_fp_regs = 33;
         SimStats s = simulate(c, buf);
-        EXPECT_EQ(s.committed, 8000u);
+        EXPECT_EQ(s.committed(), 8000u);
     }
     {
         SimConfig c;
         c.name = "one-port";
         c.ls_ports = 1;
         SimStats s = simulate(c, buf);
-        EXPECT_EQ(s.committed, 8000u);
+        EXPECT_EQ(s.committed(), 8000u);
     }
     {
         SimConfig c;
@@ -202,6 +205,6 @@ TEST(PipelineFuzzExtra, TightResourceCornerCases)
         c.window_size = 4;
         c.fetch_queue = 8;
         SimStats s = simulate(c, buf);
-        EXPECT_EQ(s.committed, 8000u);
+        EXPECT_EQ(s.committed(), 8000u);
     }
 }

@@ -263,10 +263,10 @@ TEST(SteeringStats, PipelineCountsCases)
     cfg.style = IssueBufferStyle::Fifos;
     cfg.steering = SteeringPolicy::DependenceFifo;
     SimStats s = simulate(cfg, chain);
-    EXPECT_GT(s.steer_chain_left, 150u);
-    EXPECT_EQ(s.steer_chain_left + s.steer_chain_right +
-                  s.steer_new_fifo,
-              s.dispatched);
+    EXPECT_GT(s.steer_chain_left(), 150u);
+    EXPECT_EQ(s.steer_chain_left() + s.steer_chain_right() +
+                  s.steer_new_fifo(),
+              s.dispatched());
 
     // Independent ops: everything takes a new FIFO.
     trace::TraceBuffer indep;
@@ -282,8 +282,8 @@ TEST(SteeringStats, PipelineCountsCases)
         indep.append(t);
     }
     SimStats s2 = simulate(cfg, indep);
-    EXPECT_EQ(s2.steer_chain_left, 0u);
-    EXPECT_EQ(s2.steer_new_fifo, 200u);
+    EXPECT_EQ(s2.steer_chain_left(), 0u);
+    EXPECT_EQ(s2.steer_new_fifo(), 200u);
 }
 
 TEST(RandomSteering, DistributesAndFallsBack)

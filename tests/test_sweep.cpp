@@ -22,19 +22,12 @@ using uarch::SimStats;
 
 namespace {
 
+/** Whole-stats identity via the metrics registry: every counter,
+ *  sample, and histogram bucket participates. */
 std::string
 fingerprint(const SimStats &s)
 {
-    std::ostringstream os;
-    os << s.cycles << "/" << s.fetched << "/" << s.dispatched << "/"
-       << s.issued << "/" << s.committed << "/" << s.mispredicts
-       << "/" << s.dcache_misses << "/" << s.l2_misses << "/"
-       << s.store_forwards << "/" << s.intercluster_bypasses;
-    for (size_t b = 0; b < s.issue_sizes.buckets(); ++b)
-        os << "," << s.issue_sizes.bucket(b);
-    for (size_t b = 0; b < s.buffer_occupancy.buckets(); ++b)
-        os << "," << s.buffer_occupancy.bucket(b);
-    return os.str();
+    return s.group().toJson();
 }
 
 /** A mixed task list: several organizations over two traces. */
@@ -113,7 +106,7 @@ TEST(Sweep, CursorDoesNotDisturbOwningBuffer)
 
     trace::TraceCursor view(buf);
     uarch::SimStats s = uarch::simulate(core::baseline8Way(), view);
-    EXPECT_EQ(s.committed, 1000u);
+    EXPECT_EQ(s.committed(), 1000u);
 
     ASSERT_TRUE(buf.next(op));
     EXPECT_EQ(op.pc, third_pc);

@@ -143,12 +143,7 @@ expectCorrupt(const std::string &path, TraceIoStatus load_status,
 std::string
 fingerprint(const uarch::SimStats &s)
 {
-    std::ostringstream os;
-    os << s.cycles << "/" << s.fetched << "/" << s.dispatched << "/"
-       << s.issued << "/" << s.committed << "/" << s.mispredicts
-       << "/" << s.dcache_misses << "/" << s.l2_misses << "/"
-       << s.store_forwards << "/" << s.intercluster_bypasses;
-    return os.str();
+    return s.group().toJson();
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
@@ -87,6 +88,10 @@ usage()
         "  --stages N             wakeup+select pipeline stages\n"
         "  --perfect-bpred        oracle conditional prediction\n"
         "  --seed N               random-steering seed\n"
+        "  --json PATH            write statistics as JSON ('-' = "
+        "stdout)\n"
+        "  --csv PATH             write statistics as CSV ('-' = "
+        "stdout)\n"
         "  --verbose              print occupancy histograms");
     std::exit(2);
 }
@@ -128,44 +133,45 @@ findTech(const std::string &f)
     fatal("unknown technology '%s' (0.8, 0.35, or 0.18)", f.c_str());
 }
 
-void
-printStats(const uarch::SimStats &s, const std::string &label,
-           double clock_mhz, bool verbose)
+/**
+ * The run's statistics as a metrics group: the simulator's registry
+ * plus, when a clock estimate exists, clock/BIPS gauges so the
+ * complexity-effectiveness bottom line is part of the export.
+ */
+StatGroup
+runGroup(const uarch::SimStats &s, const std::string &label,
+         double clock_mhz)
 {
-    Table t("Results: " + label);
-    t.header({"metric", "value"});
-    t.row({"cycles", cell(s.cycles)});
-    t.row({"instructions", cell(s.committed)});
-    t.row({"IPC", cell(s.ipc(), 3)});
+    StatGroup g = s.group();
+    g.label() = label;
     if (clock_mhz > 0.0) {
-        t.row({"clock (MHz)", cell(clock_mhz, 0)});
-        t.row({"BIPS", cell(s.ipc() * clock_mhz / 1000.0, 2)});
+        g.addGauge("clock_mhz", "MHz",
+                   "delay-model clock estimate for this organization",
+                   clock_mhz);
+        g.addGauge("bips", "BIPS",
+                   "billions of instructions per second: IPC times "
+                   "the clock estimate",
+                   s.ipc() * clock_mhz / 1000.0);
     }
-    t.row({"branch mispredict %",
-           cell(100.0 * s.mispredictRate())});
-    t.row({"dcache miss %", cell(100.0 * s.dcacheMissRate())});
-    t.row({"store forwards", cell(s.store_forwards)});
-    t.row({"inter-cluster bypass %", cell(s.interClusterPct())});
-    t.row({"dispatch stalls (buffer)",
-           cell(s.dispatch_stall_buffer)});
-    t.row({"dispatch stalls (regs)", cell(s.dispatch_stall_regs)});
-    t.row({"dispatch stalls (rob)", cell(s.dispatch_stall_rob)});
-    t.print();
+    return g;
+}
 
-    if (verbose) {
-        Table h("Issued per cycle");
-        h.header({"width", "cycles", "%"});
-        for (size_t i = 0; i < s.issue_sizes.buckets(); ++i) {
-            if (!s.issue_sizes.bucket(i))
-                continue;
-            h.row({cell(static_cast<int>(i)),
-                   cell(s.issue_sizes.bucket(i)),
-                   cell(100.0 * s.issue_sizes.fraction(i))});
-        }
-        h.print();
-        std::printf("mean issue-buffer occupancy: %.1f entries\n",
-                    s.buffer_occupancy.mean());
-    }
+void
+printStats(const StatGroup &g, bool verbose)
+{
+    statTable(g).print();
+    if (verbose)
+        for (const Table &h : histogramTables(g))
+            h.print();
+}
+
+/** Write @p text to @p path ('-' = stdout); fatal on I/O failure. */
+void
+writeExport(const std::string &path, const std::string &text)
+{
+    std::string err;
+    if (!writeTextOutput(path, text, &err))
+        fatal("%s", err.c_str());
 }
 
 } // namespace
@@ -182,6 +188,8 @@ main(int argc, char **argv)
     bool sweep = false;
     unsigned jobs = 0; // 0 = defaultJobs()
     bool verbose = false;
+    std::string json_path;
+    std::string csv_path;
 
     struct Override
     {
@@ -233,6 +241,10 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(intArg(a, next(), 0, 65536));
         } else if (a == "--perfect-bpred") {
             perfect = true;
+        } else if (a == "--json") {
+            json_path = next();
+        } else if (a == "--csv") {
+            csv_path = next();
         } else if (a == "--verbose") {
             verbose = true;
         } else {
@@ -275,6 +287,10 @@ main(int argc, char **argv)
     uarch::SimConfig cfg = findPreset(preset);
     applyOverrides(cfg);
 
+    // Exporting to stdout must produce a machine-parseable document,
+    // so the human-facing chatter (tables, clock line) is suppressed.
+    const bool quiet = json_path == "-" || csv_path == "-";
+
     if (sweep) {
         // Configuration sweep (the Fig. 13 comparison writ large):
         // every preset — with any command-line overrides applied —
@@ -314,6 +330,11 @@ main(int argc, char **argv)
         std::vector<uarch::SimStats> stats =
             core::runSweep(tasks, jobs);
 
+        // Per-preset aggregate over its workloads via registry
+        // merge; the merged group's derived IPC is total committed
+        // over total cycles, i.e. the instruction-weighted mean.
+        std::vector<StatGroup> runs;
+        std::vector<StatGroup> merged;
         Table t("Preset sweep: IPC per workload");
         std::vector<std::string> hdr = {"preset"};
         hdr.insert(hdr.end(), names.begin(), names.end());
@@ -321,19 +342,29 @@ main(int argc, char **argv)
         t.header(hdr);
         for (size_t m = 0; m < machines.size(); ++m) {
             std::vector<std::string> row = {kPresets[m].name};
-            uint64_t instrs = 0, cycles = 0;
+            auto first = stats.begin() +
+                static_cast<ptrdiff_t>(m * traces.size());
+            std::vector<uarch::SimStats> preset_stats(
+                first, first + static_cast<ptrdiff_t>(traces.size()));
             for (size_t w = 0; w < traces.size(); ++w) {
-                const uarch::SimStats &s =
-                    stats[m * traces.size() + w];
+                const uarch::SimStats &s = preset_stats[w];
                 row.push_back(cell(s.ipc(), 3));
-                instrs += s.committed;
-                cycles += s.cycles;
+                runs.push_back(runGroup(
+                    s, std::string(kPresets[m].name) + " / " +
+                           names[w], 0.0));
             }
-            row.push_back(cell(static_cast<double>(instrs) /
-                               static_cast<double>(cycles), 3));
+            StatGroup agg = core::mergedStats(preset_stats);
+            agg.label() = std::string(kPresets[m].name) + " / all";
+            row.push_back(cell(agg.value("ipc"), 3));
+            merged.push_back(std::move(agg));
             t.row(row);
         }
-        t.print();
+        if (!quiet)
+            t.print();
+        if (!json_path.empty())
+            writeExport(json_path, statGroupListJson(runs, merged));
+        if (!csv_path.empty())
+            writeExport(csv_path, statGroupListCsv(runs));
         return 0;
     }
 
@@ -351,10 +382,12 @@ main(int argc, char **argv)
         cc.phys_regs = cfg.phys_int_regs;
         vlsi::StageDelays d = est.delays(cc);
         clock_mhz = d.clockMhz();
-        std::printf("clock estimate (%sum): %.1f ps (%s-limited), "
-                    "%.0f MHz\n", tech.c_str(), d.criticalPs(),
-                    d.criticalStage().c_str(), clock_mhz);
-        if (verbose) {
+        if (!quiet)
+            std::printf("clock estimate (%sum): %.1f ps "
+                        "(%s-limited), %.0f MHz\n", tech.c_str(),
+                        d.criticalPs(), d.criticalStage().c_str(),
+                        clock_mhz);
+        if (verbose && !quiet) {
             Table ct("Structure delays");
             ct.header({"structure", "delay (ps)", "pipelinable"});
             for (const auto &sd : est.fullReport(
@@ -367,7 +400,8 @@ main(int argc, char **argv)
     }
 
     core::Machine machine(cfg);
-    std::printf("machine: %s\n", cfg.name.c_str());
+    if (!quiet)
+        std::printf("machine: %s\n", cfg.name.c_str());
 
     if (all) {
         // One task per benchmark, all on this machine; traces
@@ -385,20 +419,45 @@ main(int argc, char **argv)
         Table t("All workloads on " + cfg.name);
         t.header({"benchmark", "IPC", "mispredict %", "dcache miss %",
                   "x-cluster %"});
+        std::vector<StatGroup> runs;
         for (size_t i = 0; i < names.size(); ++i) {
             const uarch::SimStats &s = stats[i];
             t.row({names[i], cell(s.ipc(), 3),
                    cell(100.0 * s.mispredictRate()),
                    cell(100.0 * s.dcacheMissRate()),
                    cell(s.interClusterPct())});
+            runs.push_back(runGroup(
+                s, cfg.name + " / " + names[i], clock_mhz));
         }
-        t.print();
+        if (!quiet)
+            t.print();
+        if (!json_path.empty() || !csv_path.empty()) {
+            StatGroup agg = core::mergedStats(stats);
+            agg.label() = cfg.name + " / all workloads";
+            if (!json_path.empty())
+                writeExport(json_path, statGroupListJson(runs, {agg}));
+            if (!csv_path.empty())
+                writeExport(csv_path, statGroupListCsv(runs));
+        }
         return 0;
     }
 
+    // Single-simulation modes: run, render the registry as a table,
+    // and export the same group (plus clock/BIPS gauges) on request.
+    auto finish = [&](const uarch::SimStats &s,
+                      const std::string &label) {
+        StatGroup g = runGroup(s, cfg.name + " / " + label,
+                               clock_mhz);
+        if (!quiet)
+            printStats(g, verbose);
+        if (!json_path.empty())
+            writeExport(json_path, g.toJson());
+        if (!csv_path.empty())
+            writeExport(csv_path, g.toCsv());
+    };
+
     if (!workload.empty()) {
-        auto s = machine.runWorkload(workload);
-        printStats(s, workload, clock_mhz, verbose);
+        finish(machine.runWorkload(workload), workload);
         return 0;
     }
     if (!asm_file.empty()) {
@@ -407,8 +466,7 @@ main(int argc, char **argv)
             fatal("cannot open '%s'", asm_file.c_str());
         std::stringstream ss;
         ss << in.rdbuf();
-        auto s = machine.runProgram(ss.str(), 100000000ULL);
-        printStats(s, asm_file, clock_mhz, verbose);
+        finish(machine.runProgram(ss.str(), 100000000ULL), asm_file);
         return 0;
     }
     if (synthetic > 0) {
@@ -416,8 +474,7 @@ main(int argc, char **argv)
         sp.seed = cfg.random_seed;
         trace::TraceBuffer buf =
             trace::generateSynthetic(sp, synthetic);
-        auto s = machine.runTrace(buf);
-        printStats(s, "synthetic", clock_mhz, verbose);
+        finish(machine.runTrace(buf), "synthetic");
         return 0;
     }
     usage();

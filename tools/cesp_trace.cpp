@@ -19,6 +19,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 #include "func/emulator.hpp"
@@ -47,6 +48,10 @@ usage()
         "  --window N          finite-window ILP limit (default 64)\n"
         "  --issue N           finite-width ILP limit (default 8)\n"
         "  --list N            print the first N instructions\n"
+        "  --json PATH         write the analysis as JSON ('-' = "
+        "stdout)\n"
+        "  --csv PATH          write the analysis as CSV ('-' = "
+        "stdout)\n"
         "subcommands:\n"
         "  verify FILE         check header, record count, and (v2)\n"
         "                      payload CRC; exit 0 iff intact\n"
@@ -123,6 +128,73 @@ convertCommand(const std::string &in, const std::string &out)
     return 0;
 }
 
+/**
+ * The full analysis as a metrics group: the instruction-mix
+ * counters with derived percentages, the register-dependence
+ * distance distribution, and the dataflow ILP limits. Same schema
+ * conventions (and JSON/CSV exporters) as the simulator's group.
+ */
+StatGroup
+analysisGroup(const trace::TraceBuffer &buf, int window, int issue,
+              const std::string &label)
+{
+    trace::TraceMix mix = trace::computeMix(buf);
+    trace::DependenceStats dep = trace::analyzeDependences(buf);
+    auto unlimited = trace::dataflowSchedule(buf);
+    trace::ScheduleLimits lim;
+    lim.window = window;
+    lim.issue_width = issue;
+    auto limited = trace::dataflowSchedule(buf, lim);
+
+    StatGroup g("cesp.trace_analysis", label);
+    g.addCounter("instructions", "instructions",
+                 "Dynamic instructions in the trace", mix.total);
+    struct
+    {
+        const char *name;
+        const char *desc;
+        uint64_t count;
+    } classes[] = {
+        {"loads", "Load instructions", mix.loads},
+        {"stores", "Store instructions", mix.stores},
+        {"cond_branches", "Conditional branches", mix.cond_branches},
+        {"uncond_control", "Unconditional control transfers",
+         mix.uncond},
+        {"int_alu", "Integer ALU operations", mix.int_alu},
+        {"other", "All other instructions", mix.other},
+    };
+    for (const auto &c : classes) {
+        g.addCounter(c.name, "instructions", c.desc, c.count);
+        g.addDerived(std::string(c.name) + "_pct", "%",
+                     std::string(c.desc) + " as a share of the trace",
+                     c.name, "instructions", 100.0);
+    }
+
+    size_t dist = g.addSample(
+        "dependence_distance", "instructions",
+        "Distance from each source operand to its producer");
+    g.sampleAt(dist) = dep.distance;
+    g.addGauge("adjacent_pct", "%",
+               "Instructions whose nearest producer is the "
+               "immediately preceding instruction",
+               100.0 * dep.adjacent_frac);
+    g.addGauge("independent_pct", "%",
+               "Instructions with no in-trace register producer",
+               100.0 * dep.independent_frac);
+    g.addCounter("critical_path", "ops",
+                 "Longest register dependence chain",
+                 dep.critical_path);
+    g.addGauge("dataflow_ipc_unbounded", "inst/cycle",
+               "Dataflow-limit IPC with no window or width bound",
+               unlimited.ipc);
+    g.addGauge(strprintf("dataflow_ipc_w%d_i%d", window, issue),
+               "inst/cycle",
+               strprintf("Dataflow IPC bounded by a %d-entry window "
+                         "and %d-wide issue", window, issue),
+               limited.ipc);
+    return g;
+}
+
 void
 analyze(const trace::TraceBuffer &buf, int window, int issue,
         int list)
@@ -182,6 +254,7 @@ int
 main(int argc, char **argv)
 {
     std::string capture, capture_asm, out = "trace.trc", analyze_file;
+    std::string json_path, csv_path;
     int window = 64, issue = 8, list = 0;
 
     if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
@@ -216,9 +289,30 @@ main(int argc, char **argv)
             issue = intArg(a, next(), 1, 1024);
         else if (a == "--list")
             list = intArg(a, next(), 0, 1000000000);
+        else if (a == "--json")
+            json_path = next();
+        else if (a == "--csv")
+            csv_path = next();
         else
             usage();
     }
+
+    // A stdout export must stay machine-parseable: suppress the
+    // human-facing tables and progress lines.
+    const bool quiet = json_path == "-" || csv_path == "-";
+    auto exportAnalysis = [&](const trace::TraceBuffer &buf,
+                              const std::string &label) {
+        if (json_path.empty() && csv_path.empty())
+            return;
+        StatGroup g = analysisGroup(buf, window, issue, label);
+        std::string err;
+        if (!json_path.empty() &&
+            !writeTextOutput(json_path, g.toJson(), &err))
+            fatal("%s", err.c_str());
+        if (!csv_path.empty() &&
+            !writeTextOutput(csv_path, g.toCsv(), &err))
+            fatal("%s", err.c_str());
+    };
 
     if (!capture.empty() || !capture_asm.empty()) {
         trace::TraceBuffer buf;
@@ -237,9 +331,13 @@ main(int argc, char **argv)
             fatal("cannot write '%s': %s (%s)", out.c_str(),
                   trace::traceIoStatusName(saved.status),
                   saved.detail.c_str());
-        std::printf("wrote %zu instructions to %s\n", buf.size(),
-                    out.c_str());
-        analyze(buf, window, issue, list);
+        if (!quiet) {
+            std::printf("wrote %zu instructions to %s\n", buf.size(),
+                        out.c_str());
+            analyze(buf, window, issue, list);
+        }
+        exportAnalysis(buf,
+                       capture.empty() ? capture_asm : capture);
         return 0;
     }
 
@@ -251,9 +349,12 @@ main(int argc, char **argv)
             fatal("cannot read '%s': %s (%s)", analyze_file.c_str(),
                   trace::traceIoStatusName(loaded.status),
                   loaded.detail.c_str());
-        std::printf("%s: %zu instructions\n", analyze_file.c_str(),
-                    buf.size());
-        analyze(buf, window, issue, list);
+        if (!quiet) {
+            std::printf("%s: %zu instructions\n",
+                        analyze_file.c_str(), buf.size());
+            analyze(buf, window, issue, list);
+        }
+        exportAnalysis(buf, analyze_file);
         return 0;
     }
     usage();
