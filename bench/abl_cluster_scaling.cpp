@@ -5,13 +5,27 @@
  * window is hopeless on the clock side (wakeup+select and bypass
  * both blow up); four 4-way clusters keep the per-cluster structures
  * at the sweet spot while steering limits inter-cluster traffic.
+ *
+ *   abl_cluster_scaling [--json FILE]
+ *
+ * Per-machine aggregates come from core::mergedStats over the
+ * workload runs — the merged registry's derived IPC is total
+ * committed over total cycles (instruction-weighted, the same
+ * aggregate every other harness reports) — with the delay-model
+ * clock and BIPS attached as gauges. --json exports those merged
+ * groups.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
+#include "core/sweep.hpp"
 #include "vlsi/clock.hpp"
 #include "workloads/workloads.hpp"
 
@@ -19,8 +33,21 @@ using namespace cesp;
 using namespace cesp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: abl_cluster_scaling [--json FILE]\n");
+            return 2;
+        }
+    }
+    const bool quiet = json_path == "-";
+
     struct Point
     {
         const char *label;
@@ -51,32 +78,45 @@ main()
     Table t("Scaling to 16 wide (0.18um)");
     t.header({"machine", "mean IPC", "critical stage", "clock ps",
               "clock MHz", "BIPS", "x-cluster %"});
+    std::vector<StatGroup> merged;
     for (auto &p : points) {
         Machine m(p.cfg);
-        uint64_t instrs = 0, cycles = 0;
-        double bypass_sum = 0.0;
-        int n = 0;
-        for (const auto &w : workloads::allWorkloads()) {
-            auto s = m.runWorkload(w.name);
-            instrs += s.committed();
-            cycles += s.cycles();
-            bypass_sum += s.interClusterPct();
-            ++n;
-        }
-        double ipc = static_cast<double>(instrs) /
-            static_cast<double>(cycles);
+        std::vector<uarch::SimStats> stats;
+        for (const auto &w : workloads::allWorkloads())
+            stats.push_back(m.runWorkload(w.name));
+        StatGroup agg = mergedStats(stats);
+        agg.label() = p.label;
+
+        double ipc = agg.value("ipc");
         vlsi::StageDelays d = est.delays(p.clock);
+        agg.addGauge("clock_mhz", "MHz",
+                     "delay-model clock estimate for this "
+                     "organization", d.clockMhz());
+        agg.addGauge("bips", "BIPS",
+                     "billions of instructions per second: IPC times "
+                     "the clock estimate",
+                     ipc * d.clockMhz() / 1000.0);
+
         t.row({p.label, cell(ipc, 3), d.criticalStage(),
                cell(d.criticalPs()),
                cell(d.clockMhz(), 0),
-               cell(ipc * d.clockMhz() / 1000.0, 2),
-               cell(bypass_sum / n)});
+               cell(agg.value("bips"), 2),
+               cell(agg.value("intercluster_pct"))});
+        merged.push_back(std::move(agg));
     }
-    t.print();
-    std::puts("The 16-way window machine gains little IPC and loses "
-              "the clock to its bypass wires; the 4x4 dependence-"
-              "based machine delivers the width at a 4-way cluster's "
-              "clock (the paper's 'machines with issue widths greater "
-              "than four' argument).");
+    if (!quiet) {
+        t.print();
+        std::puts("The 16-way window machine gains little IPC and "
+                  "loses the clock to its bypass wires; the 4x4 "
+                  "dependence-based machine delivers the width at a "
+                  "4-way cluster's clock (the paper's 'machines with "
+                  "issue widths greater than four' argument).");
+    }
+    if (!json_path.empty()) {
+        std::string err;
+        if (!writeTextOutput(json_path, statGroupListJson(merged, {}),
+                             &err))
+            fatal("%s", err.c_str());
+    }
     return 0;
 }

@@ -5,10 +5,21 @@
  * the issue width; this harness shows how full the 64-entry window
  * actually runs, how often the full 8-wide issue is used, and how
  * the FIFO organization's occupancy compares.
+ *
+ *   abl_occupancy [--json FILE]
+ *
+ * The derived quantities live in a per-workload StatGroup (gauges
+ * computed from the simulator's occupancy and issue-size
+ * histograms), so --json exports the same numbers the table prints,
+ * in the standard schema-versioned document.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
@@ -17,38 +28,91 @@
 using namespace cesp;
 using namespace cesp::core;
 
-int
-main()
+namespace {
+
+/** The occupancy/utilization quantities of one workload as a
+ *  self-describing group. */
+StatGroup
+occupancyGroup(const std::string &workload,
+               const uarch::SimStats &win, const uarch::SimStats &dep)
 {
+    // Fraction of cycles the 64-entry window is (nearly) full.
+    uint64_t full = 0;
+    for (size_t b = 60; b < win.buffer_occupancy().buckets(); ++b)
+        full += win.buffer_occupancy().bucket(b);
+    double full_pct = 100.0 * static_cast<double>(full) /
+        static_cast<double>(win.buffer_occupancy().total());
+
+    double wide = 0.0;
+    for (size_t b = 6; b < win.issue_sizes().buckets(); ++b)
+        wide += win.issue_sizes().fraction(b);
+
+    StatGroup g("occupancy", workload);
+    g.addGauge("win_mean_occupancy", "instructions",
+               "Mean occupancy of the 64-entry central window",
+               win.buffer_occupancy().mean());
+    g.addGauge("win_full_pct", "%",
+               "Cycles the central window holds 60+ instructions",
+               full_pct);
+    g.addGauge("fifo_mean_occupancy", "instructions",
+               "Mean total occupancy of the 8x8 FIFO organization",
+               dep.buffer_occupancy().mean());
+    g.addGauge("issue_zero_pct", "%",
+               "Cycles issuing nothing on the window machine",
+               100.0 * win.issue_sizes().fraction(0));
+    g.addGauge("issue_wide_pct", "%",
+               "Cycles issuing 6+ instructions on the window machine",
+               100.0 * wide);
+    return g;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: abl_occupancy [--json FILE]\n");
+            return 2;
+        }
+    }
+    const bool quiet = json_path == "-";
+
     Table t("Issue-buffer occupancy and issue utilization");
     t.header({"benchmark", "win mean occ", "win full %",
               "fifo mean occ", "issue=0 %", "issue>=6 %"});
     Machine win(baseline8Way());
     Machine dep(dependence8x8());
+    std::vector<StatGroup> groups;
     for (const auto &w : workloads::allWorkloads()) {
-        auto sw = win.runWorkload(w.name);
-        auto sd = dep.runWorkload(w.name);
-
-        // Fraction of cycles the 64-entry window is (nearly) full.
-        uint64_t full = 0;
-        for (size_t b = 60; b < sw.buffer_occupancy().buckets(); ++b)
-            full += sw.buffer_occupancy().bucket(b);
-        double full_pct = 100.0 * static_cast<double>(full) /
-            static_cast<double>(sw.buffer_occupancy().total());
-
-        double wide = 0.0;
-        for (size_t b = 6; b < sw.issue_sizes().buckets(); ++b)
-            wide += sw.issue_sizes().fraction(b);
-
-        t.row({w.name, cell(sw.buffer_occupancy().mean()),
-               cell(full_pct), cell(sd.buffer_occupancy().mean()),
-               cell(100.0 * sw.issue_sizes().fraction(0)),
-               cell(100.0 * wide)});
+        StatGroup g = occupancyGroup(w.name,
+                                     win.runWorkload(w.name),
+                                     dep.runWorkload(w.name));
+        t.row({w.name, cell(g.value("win_mean_occupancy")),
+               cell(g.value("win_full_pct")),
+               cell(g.value("fifo_mean_occupancy")),
+               cell(g.value("issue_zero_pct")),
+               cell(g.value("issue_wide_pct"))});
+        groups.push_back(std::move(g));
     }
-    t.print();
-    std::puts("The window runs far from full on most workloads and "
-              "8-wide issue cycles are rare — the slack the "
-              "dependence-based organization exploits: a few FIFO "
-              "heads expose enough ready instructions.");
+    if (!quiet) {
+        t.print();
+        std::puts("The window runs far from full on most workloads "
+                  "and 8-wide issue cycles are rare — the slack the "
+                  "dependence-based organization exploits: a few FIFO "
+                  "heads expose enough ready instructions.");
+    }
+    if (!json_path.empty()) {
+        std::string err;
+        if (!writeTextOutput(json_path, statGroupListJson(groups, {}),
+                             &err))
+            fatal("%s", err.c_str());
+    }
     return 0;
 }

@@ -62,16 +62,15 @@ main(int argc, char **argv)
             tasks.push_back({cfg, t});
     std::vector<uarch::SimStats> stats = runSweep(tasks, jobs);
 
-    // Cycles-weighted mean IPC of machine m over all workloads.
+    // Instruction-weighted mean IPC of machine m over all workloads:
+    // merge the per-run registries and read the recomputed derived
+    // metric (total committed over total cycles).
     auto meanIpc = [&](size_t m) {
-        uint64_t instrs = 0, cycles = 0;
-        for (size_t w = 0; w < traces.size(); ++w) {
-            const uarch::SimStats &s = stats[m * traces.size() + w];
-            instrs += s.committed();
-            cycles += s.cycles();
-        }
-        return static_cast<double>(instrs) /
-            static_cast<double>(cycles);
+        auto first = stats.begin() +
+            static_cast<ptrdiff_t>(m * traces.size());
+        std::vector<uarch::SimStats> runs(
+            first, first + static_cast<ptrdiff_t>(traces.size()));
+        return mergedStats(runs).value("ipc");
     };
 
     std::printf("ideal 1-cluster 8-way IPC: %.3f\n\n", meanIpc(0));

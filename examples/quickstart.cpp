@@ -3,11 +3,13 @@
  * Quickstart: write a few lines of PJ-RISC assembly, run it through
  * the functional emulator, and compare the window-based and
  * dependence-based machines on its trace — the whole public API in
- * one page.
+ * one page, including the standard metrics rendering (statTable
+ * over the run's registry).
  */
 
 #include <cstdio>
 
+#include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
 #include "func/emulator.hpp"
@@ -65,6 +67,11 @@ main()
 
     uarch::SimStats sw = window.runTrace(buf);
     uarch::SimStats sf = fifos.runTrace(buf);
+
+    // 3. Every run's statistics live in a self-describing registry;
+    // statTable renders it, group().toJson()/toCsv() export it.
+    statTable(sw.group()).print();
+    statTable(sf.group()).print();
 
     std::printf("window machine : IPC %.3f (%llu cycles)\n", sw.ipc(),
                 (unsigned long long)sw.cycles());

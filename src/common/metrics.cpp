@@ -345,38 +345,58 @@ StatGroup::reset()
         h.reset();
 }
 
-bool
-StatGroup::sameSchema(const StatGroup &other) const
+std::string
+StatGroup::schemaDiff(const StatGroup &other) const
 {
     if (entries_.size() != other.entries_.size())
-        return false;
+        return strprintf("entry count %zu vs %zu", entries_.size(),
+                         other.entries_.size());
     for (size_t i = 0; i < entries_.size(); ++i) {
         const StatEntry &a = entries_[i];
         const StatEntry &b = other.entries_[i];
-        if (a.name != b.name || a.kind != b.kind || a.store != b.store)
-            return false;
+        if (a.name != b.name)
+            return strprintf("entry %zu: '%s' vs '%s'", i,
+                             a.name.c_str(), b.name.c_str());
+        if (a.kind != b.kind || a.store != b.store)
+            return strprintf("entry %zu ('%s'): %s vs %s", i,
+                             a.name.c_str(), statKindName(a.kind),
+                             statKindName(b.kind));
         if (a.kind == StatKind::Derived &&
             (a.num != b.num || a.den != b.den || a.scale != b.scale))
-            return false;
+            return strprintf("entry %zu ('%s'): derived operands "
+                             "differ (%s/%s vs %s/%s)", i,
+                             a.name.c_str(), a.num.c_str(),
+                             a.den.c_str(), b.num.c_str(),
+                             b.den.c_str());
         if (a.kind == StatKind::Histogram) {
             const Histogram &ha = histograms_[a.store];
             const Histogram &hb = other.histograms_[b.store];
             if (ha.buckets() != hb.buckets() ||
                 ha.width() != hb.width())
-                return false;
+                return strprintf("entry %zu ('%s'): histogram shape "
+                                 "%zu x %g vs %zu x %g", i,
+                                 a.name.c_str(), ha.buckets(),
+                                 ha.width(), hb.buckets(),
+                                 hb.width());
         }
     }
-    return true;
+    return "";
+}
+
+bool
+StatGroup::sameSchema(const StatGroup &other) const
+{
+    return schemaDiff(other).empty();
 }
 
 void
 StatGroup::merge(const StatGroup &other)
 {
-    if (!sameSchema(other))
-        fatal("StatGroup::merge: schema mismatch between '%s' (%zu "
-              "metrics) and '%s' (%zu metrics)", name_.c_str(),
-              entries_.size(), other.name_.c_str(),
-              other.entries_.size());
+    std::string why = schemaDiff(other);
+    if (!why.empty())
+        fatal("StatGroup::merge: schema mismatch between '%s' and "
+              "'%s': %s", name_.c_str(), other.name_.c_str(),
+              why.c_str());
     for (size_t i = 0; i < counters_.size(); ++i)
         counters_[i] += other.counters_[i];
     for (size_t i = 0; i < gauges_.size(); ++i)

@@ -179,6 +179,10 @@ class StatGroup
     void merge(const StatGroup &other);
     /** Same metrics in the same order with the same shapes. */
     bool sameSchema(const StatGroup &other) const;
+    /** Why the schemas differ: names the first differing entry (its
+     *  position, names, kinds, or histogram shape) rather than just
+     *  voting no. Empty string when the schemas match. */
+    std::string schemaDiff(const StatGroup &other) const;
     /** sameSchema and every stored value equal. */
     bool sameValues(const StatGroup &other) const;
     /** Human-readable list of differing entries (for test output). */

@@ -60,7 +60,7 @@ runTask(const SweepTask &t, size_t index, uarch::SimStats &out)
     if (detail::sweep_task_hook)
         detail::sweep_task_hook(index);
     trace::TraceCursor cursor(t.trace);
-    out = uarch::simulate(t.cfg, cursor);
+    out = uarch::simulate(t.cfg, cursor, UINT64_MAX, t.warmup);
 }
 
 } // namespace
@@ -180,6 +180,82 @@ runSweep(const std::vector<uarch::SimConfig> &configs,
     for (const uarch::SimConfig &cfg : configs)
         tasks.push_back({cfg, trace});
     return runSweep(tasks, jobs);
+}
+
+std::vector<ShardSpec>
+planShards(size_t record_count, unsigned shards, uint64_t warmup)
+{
+    size_t k = shards ? shards : 1;
+    if (record_count && k > record_count)
+        k = record_count;
+    if (!record_count)
+        k = 1;
+
+    // Even contiguous split without multiplication overflow: the
+    // first (count % k) windows get one extra record.
+    size_t base = record_count / k;
+    size_t extra = record_count % k;
+
+    std::vector<ShardSpec> plan;
+    plan.reserve(k);
+    size_t begin = 0;
+    for (size_t i = 0; i < k; ++i) {
+        size_t len = base + (i < extra ? 1 : 0);
+        size_t end = begin + len;
+        size_t w = static_cast<size_t>(
+            warmup < begin ? warmup : begin);
+        plan.push_back({begin - w, end, w});
+        begin = end;
+    }
+    return plan;
+}
+
+ShardedRun
+runSharded(const uarch::SimConfig &cfg, trace::TraceView trace,
+           unsigned shards, uint64_t warmup, unsigned jobs)
+{
+    std::vector<ShardSpec> plan =
+        planShards(trace.count, shards, warmup);
+    std::vector<SweepTask> tasks;
+    tasks.reserve(plan.size());
+    for (const ShardSpec &s : plan)
+        tasks.push_back(
+            {cfg, trace.slice(s.begin, s.end - s.begin), s.warmup});
+    ShardedRun run;
+    run.shards = runSweep(tasks, jobs);
+    run.merged = mergedStats(run.shards);
+    return run;
+}
+
+std::vector<StatGroup>
+runShardedBatch(const std::vector<SweepTask> &pairs, unsigned shards,
+                uint64_t warmup, unsigned jobs)
+{
+    std::vector<SweepTask> tasks;
+    std::vector<size_t> first(pairs.size() + 1, 0);
+    for (size_t p = 0; p < pairs.size(); ++p) {
+        for (const ShardSpec &s :
+             planShards(pairs[p].trace.count, shards, warmup))
+            tasks.push_back({pairs[p].cfg,
+                             pairs[p].trace.slice(s.begin,
+                                                  s.end - s.begin),
+                             s.warmup});
+        first[p + 1] = tasks.size();
+    }
+
+    std::vector<uarch::SimStats> stats = runSweep(tasks, jobs);
+
+    std::vector<StatGroup> merged;
+    merged.reserve(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+        std::vector<uarch::SimStats> slice(
+            stats.begin() + static_cast<ptrdiff_t>(first[p]),
+            stats.begin() + static_cast<ptrdiff_t>(first[p + 1]));
+        StatGroup g = mergedStats(slice);
+        g.label() = pairs[p].cfg.name;
+        merged.push_back(std::move(g));
+    }
+    return merged;
 }
 
 } // namespace cesp::core

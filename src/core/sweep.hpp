@@ -32,11 +32,14 @@ namespace cesp::core {
  *  must outlive the runSweep call; workers read it through private
  *  TraceCursors. A TraceView converts implicitly from a TraceBuffer
  *  and from an MmapTraceSource, so tasks can mix buffer-backed and
- *  mmap-backed traces freely. */
+ *  mmap-backed traces freely. warmup discards the stats of the
+ *  leading instructions (see Pipeline::run): the machine state warms
+ *  up over them, measurement starts when the warmup-th commits. */
 struct SweepTask
 {
     uarch::SimConfig cfg;
     trace::TraceView trace;
+    uint64_t warmup = 0;
 };
 
 /** Worker count used when jobs == 0: the hardware concurrency, or 1
@@ -78,6 +81,78 @@ runSweep(const std::vector<uarch::SimConfig> &configs,
  * counts.
  */
 StatGroup mergedStats(const std::vector<uarch::SimStats> &results);
+
+/**
+ * One window of a sharded trace run. The shard simulates records
+ * [begin, end) of the trace; the first `warmup` of them only warm
+ * the machine state (their stats are discarded), so the measured
+ * window is [begin + warmup, end).
+ *
+ * No cooldown suffix follows the window: commit is in-order, so a
+ * measured instruction's commit cycle depends only on itself and
+ * older instructions — simulating records past `end` could not
+ * change the measured cycle count (verified empirically while
+ * tuning the convergence suite). The only sharding bias is cold
+ * machine state at `begin`, which the warmup prefix addresses.
+ */
+struct ShardSpec
+{
+    size_t begin;    //!< first record simulated (start of warmup)
+    size_t end;      //!< one past the last record simulated
+    uint64_t warmup; //!< leading records excluded from the stats
+};
+
+/**
+ * Split a trace of @p record_count records into @p shards contiguous
+ * measured windows (sizes differ by at most one record, in order, no
+ * gaps or overlap), each preceded by up to @p warmup records of
+ * state-warming prefix drawn from the records just before the
+ * window. Shard 0 has no prefix (nothing precedes it) and windows
+ * near the start get what is available — warmup is clamped, never an
+ * error. Degenerate inputs clamp deterministically: shards == 0
+ * plans like 1; more shards than records plans one shard per record;
+ * an empty trace plans a single empty shard.
+ */
+std::vector<ShardSpec> planShards(size_t record_count,
+                                  unsigned shards, uint64_t warmup);
+
+/** Per-shard stats plus their merge, from runSharded. */
+struct ShardedRun
+{
+    std::vector<uarch::SimStats> shards; //!< measured, in trace order
+    StatGroup merged; //!< mergedStats over the shards
+};
+
+/**
+ * Simulate one (configuration, trace) pair as K parallel shard
+ * windows on the runSweep pool and merge the measured stats. The
+ * merged group's derived IPC is total committed over total (summed)
+ * shard cycles — the sampled-simulation estimate of the monolithic
+ * IPC; the accuracy gap shrinks as warmup grows (see the
+ * test_shard convergence suite and bench/shard_accuracy). Merged
+ * committed is exact for any K and warmup (the measured windows
+ * partition the trace); warmup records are simulated by two shards,
+ * but only ever measured by one.
+ *
+ * With shards == 1 and warmup == 0 the single shard is the whole
+ * trace and its stats are bit-identical (StatGroup::sameValues) to a
+ * monolithic uarch::simulate of the same pair.
+ */
+ShardedRun runSharded(const uarch::SimConfig &cfg,
+                      trace::TraceView trace, unsigned shards,
+                      uint64_t warmup, unsigned jobs = 0);
+
+/**
+ * Shard every (configuration, trace) pair of @p pairs K ways and run
+ * the whole expansion as one flat task list on the pool (so shards
+ * of different pairs load-balance against each other), then merge
+ * per pair. Returns one merged StatGroup per input pair, in order,
+ * labelled with the pair's configuration name. Any warmup already on
+ * a pair is ignored; @p warmup applies to every shard.
+ */
+std::vector<StatGroup>
+runShardedBatch(const std::vector<SweepTask> &pairs, unsigned shards,
+                uint64_t warmup, unsigned jobs = 0);
 
 namespace detail {
 

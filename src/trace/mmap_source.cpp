@@ -11,7 +11,10 @@
 #include <unistd.h>
 
 #include <bit>
+#include <cerrno>
 #include <cstring>
+
+#include "common/logging.hpp"
 
 namespace cesp::trace {
 
@@ -25,13 +28,43 @@ fail(TraceIoStatus status, std::string detail)
     return {status, std::move(detail)};
 }
 
+/**
+ * close() that never leaks and never double-closes. On Linux the
+ * descriptor is released even when close() fails with EINTR (POSIX
+ * leaves the state unspecified); retrying the close would race a
+ * concurrent open() that reused the slot and could shut someone
+ * else's file. So EINTR is accepted silently, and any other failure
+ * is reported but not retried — either way the fd is gone.
+ */
+void
+closeFd(int fd, const std::string &path)
+{
+    if (::close(fd) != 0 && errno != EINTR)
+        warn("close(%s): %s", path.c_str(), std::strerror(errno));
+}
+
+/**
+ * munmap() with failure reporting. A failing munmap means the
+ * (base, length) pair does not describe a mapping we own — an
+ * accounting bug — and the address space it should have released is
+ * lost; surfacing it beats diagnosing a mysterious ENOMEM hours into
+ * a sweep.
+ */
+void
+unmapChecked(void *base, size_t bytes, const std::string &path)
+{
+    if (::munmap(base, bytes) != 0)
+        warn("munmap(%s, %zu bytes): %s — address space leaked",
+             path.c_str(), bytes, std::strerror(errno));
+}
+
 } // namespace
 
 void
 MmapTraceSource::reset()
 {
     if (map_base_)
-        ::munmap(map_base_, map_bytes_);
+        unmapChecked(map_base_, map_bytes_, path_);
     map_base_ = nullptr;
     map_bytes_ = 0;
     records_ = nullptr;
@@ -59,12 +92,20 @@ MmapTraceSource::open(const std::string &path)
 
     struct stat st;
     if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-        ::close(fd);
+        closeFd(fd, path);
         return fail(TraceIoStatus::OpenFailed, path + ": fstat failed");
     }
     size_t file_bytes = static_cast<size_t>(st.st_size);
+    if (file_bytes == 0) {
+        closeFd(fd, path);
+        // Zero length is a torn create, not a truncated trace — and
+        // mmap of length 0 is EINVAL anyway, so it must be rejected
+        // before the map attempt.
+        return fail(TraceIoStatus::EmptyFile,
+                    path + ": zero-length file");
+    }
     if (file_bytes < kTraceV2HeaderBytes) {
-        ::close(fd);
+        closeFd(fd, path);
         // A file too short even for a v1 header has no magic to
         // trust; report truncation either way.
         return fail(TraceIoStatus::ShortRead,
@@ -87,14 +128,14 @@ MmapTraceSource::open(const std::string &path)
         base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE,
                       fd, 0);
 #endif
-    ::close(fd); // the mapping keeps its own reference
+    closeFd(fd, path); // the mapping keeps its own reference
     if (base == MAP_FAILED)
         return fail(TraceIoStatus::MmapFailed,
                     path + ": mmap failed");
 
     const uint8_t *bytes = static_cast<const uint8_t *>(base);
     auto reject = [&](TraceIoResult r) {
-        ::munmap(base, file_bytes);
+        unmapChecked(base, file_bytes, path);
         return r;
     };
 

@@ -5,7 +5,18 @@
 
 #include "trace/trace.hpp"
 
+#include "common/logging.hpp"
+
 namespace cesp::trace {
+
+TraceView
+TraceView::slice(size_t offset, size_t n) const
+{
+    if (offset > count || n > count - offset)
+        fatal("TraceView::slice: window [%zu, %zu) outside a %zu-"
+              "record trace", offset, offset + n, count);
+    return {records + offset, n};
+}
 
 TraceMix
 computeMix(const TraceBuffer &buf)

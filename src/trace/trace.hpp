@@ -159,6 +159,14 @@ struct TraceView
 
     bool empty() const { return count == 0; }
     const TraceOp &operator[](size_t i) const { return records[i]; }
+
+    /**
+     * The contiguous window of @p n records starting at @p offset —
+     * the zero-copy currency of trace sharding: a shard's window is
+     * a view into the same storage, so splitting a trace K ways
+     * allocates nothing. Fatal if the window reaches past the end.
+     */
+    TraceView slice(size_t offset, size_t n) const;
 };
 
 /**
@@ -184,6 +192,16 @@ class TraceCursor : public TraceSource
     }
 
     void rewind() override { pos_ = 0; }
+
+    /** Jump to record @p pos; positions at or past the end make the
+     *  next next() return false (an exhausted cursor, not an error). */
+    void seek(size_t pos) { pos_ = pos; }
+
+    /** Index of the record the next next() returns. */
+    size_t position() const { return pos_; }
+
+    /** The records this cursor walks. */
+    TraceView view() const { return view_; }
 
   private:
     TraceView view_;

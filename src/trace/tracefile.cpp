@@ -316,6 +316,7 @@ traceIoStatusName(TraceIoStatus s)
       case TraceIoStatus::FlushFailed: return "flush-failed";
       case TraceIoStatus::CloseFailed: return "close-failed";
       case TraceIoStatus::ShortRead: return "short-read";
+      case TraceIoStatus::EmptyFile: return "empty-file";
       case TraceIoStatus::BadMagic: return "bad-magic";
       case TraceIoStatus::LegacyVersion: return "legacy-version";
       case TraceIoStatus::BadRecordSize: return "bad-record-size";
@@ -410,7 +411,15 @@ loadTrace(const std::string &path, TraceBuffer &out)
     // 8-byte record count; read the first 16 bytes to dispatch, then
     // the rest of the v2 header if needed.
     uint8_t header[kTraceV2HeaderBytes];
-    if (std::fread(header, 1, 16, f.get()) != 16)
+    size_t got = std::fread(header, 1, 16, f.get());
+    if (got == 0 && std::feof(f.get()))
+        // The classic torn-create artifact (open(O_CREAT), then a
+        // crash before any write): no magic, no payload, nothing to
+        // diagnose as "truncated" — its own status so cache fallback
+        // logs say what actually happened.
+        return fail(TraceIoStatus::EmptyFile,
+                    path + ": zero-length file");
+    if (got != 16)
         return fail(TraceIoStatus::ShortRead,
                     path + ": header truncated");
     if (std::memcmp(header, kMagicV1, sizeof(kMagicV1)) == 0)

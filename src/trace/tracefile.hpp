@@ -45,6 +45,7 @@ enum class TraceIoStatus
     FlushFailed,    //!< fflush reported an error
     CloseFailed,    //!< fclose reported an error (buffered data lost)
     ShortRead,      //!< file ends before header/payload does
+    EmptyFile,      //!< zero-length file (torn create, not a trace)
     BadMagic,       //!< not a cesp trace file
     LegacyVersion,  //!< valid v1 file where v2 was required (mmap)
     BadRecordSize,  //!< v2 header's record size is not ours

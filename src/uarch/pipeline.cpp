@@ -666,7 +666,28 @@ Pipeline::doCommit()
             rename_.release(head.old_preg);
         ++stats_.committed();
         ++rob_head_;
+        // The warmup boundary is commit-precise: the moment the
+        // warmup-th instruction retires, measurement begins —
+        // younger instructions committing in this same cycle are
+        // measured.
+        if (warmup_pending_ &&
+            stats_.committed() == warmup_target_)
+            beginMeasurement();
     }
+}
+
+void
+Pipeline::beginMeasurement()
+{
+    warmup_pending_ = false;
+    measure_start_cycle_ = now_;
+    dcache_acc_base_ = dcache_.accesses();
+    dcache_miss_base_ = dcache_.misses();
+    if (l2_) {
+        l2_acc_base_ = l2_->accesses();
+        l2_miss_base_ = l2_->misses();
+    }
+    stats_.group().reset();
 }
 
 void
@@ -791,6 +812,7 @@ Pipeline::doFetch()
         di.frontend_exit =
             now_ + static_cast<uint64_t>(cfg_.frontend_latency);
         ++stats_.fetched();
+        ++fetched_total_;
 
         if (op.isCondBranch()) {
             ++stats_.cond_branches();
@@ -817,11 +839,13 @@ Pipeline::doFetch()
 }
 
 SimStats
-Pipeline::run(uint64_t max_instructions)
+Pipeline::run(uint64_t max_instructions, uint64_t warmup_instructions)
 {
     if (now_ != 0)
         panic("Pipeline::run is single-use; construct a new Pipeline");
     src_.rewind();
+    warmup_target_ = warmup_instructions;
+    warmup_pending_ = warmup_instructions > 0;
 
     uint64_t last_progress_cycle = 0;
     uint64_t last_committed = 0;
@@ -831,7 +855,7 @@ Pipeline::run(uint64_t max_instructions)
         doCommit();
         doIssue();
         doDispatch();
-        if (stats_.fetched() >= max_instructions)
+        if (fetched_total_ >= max_instructions)
             trace_done_ = true;
         doFetch();
         ++now_;
@@ -848,22 +872,27 @@ Pipeline::run(uint64_t max_instructions)
         maybeSkipIdle();
     }
 
-    stats_.cycles() = now_;
-    stats_.dcache_accesses() = dcache_.accesses();
-    stats_.dcache_misses() = dcache_.misses();
+    // A run shorter than its warmup has an empty measured region:
+    // reset at drain so the caller sees zeros, not warmup noise.
+    if (warmup_pending_)
+        beginMeasurement();
+
+    stats_.cycles() = now_ - measure_start_cycle_;
+    stats_.dcache_accesses() = dcache_.accesses() - dcache_acc_base_;
+    stats_.dcache_misses() = dcache_.misses() - dcache_miss_base_;
     if (l2_) {
-        stats_.l2_accesses() = l2_->accesses();
-        stats_.l2_misses() = l2_->misses();
+        stats_.l2_accesses() = l2_->accesses() - l2_acc_base_;
+        stats_.l2_misses() = l2_->misses() - l2_miss_base_;
     }
     return stats_;
 }
 
 SimStats
 simulate(const SimConfig &cfg, trace::TraceSource &src,
-         uint64_t max_instructions)
+         uint64_t max_instructions, uint64_t warmup_instructions)
 {
     Pipeline p(cfg, src);
-    return p.run(max_instructions);
+    return p.run(max_instructions, warmup_instructions);
 }
 
 } // namespace cesp::uarch

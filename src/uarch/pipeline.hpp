@@ -306,8 +306,32 @@ class Pipeline
     /**
      * Simulate until the trace ends (or @p max_instructions have been
      * fetched) and the machine drains. Returns the statistics.
+     *
+     * @p warmup_instructions discards the measurement prefix: the
+     * machine state (branch predictor, caches, rename map, in-flight
+     * instructions) warms up normally, but when the warmup-th
+     * instruction commits the statistics registry is reset
+     * (StatGroup::reset()) and cycle/cache accounting rebases, so the
+     * returned stats cover only the instructions committed after the
+     * boundary. This is the measurement contract trace sharding
+     * depends on (core::runSharded): a shard simulates its warmup
+     * prefix for state only and reports its measured window. With
+     * warmup 0 the behaviour (and every stat bit) is unchanged. If
+     * the run drains before the warmup target commits, the measured
+     * region is empty and every counter is zero.
+     *
+     * @p max_instructions counts all fetched instructions, warmup
+     * included.
+     *
+     * Note that a measured window needs no cooldown suffix: commit
+     * is in-order, so an instruction's commit cycle depends only on
+     * itself and older instructions — appending records after the
+     * window cannot change its cycle count (verified empirically
+     * while tuning the sharded convergence suite). The only sharding
+     * bias is cold machine state, which the warmup prefix addresses.
      */
-    SimStats run(uint64_t max_instructions = UINT64_MAX);
+    SimStats run(uint64_t max_instructions = UINT64_MAX,
+                 uint64_t warmup_instructions = 0);
 
     const SimConfig &config() const { return cfg_; }
 
@@ -379,6 +403,10 @@ class Pipeline
     /** Jump over cycles that provably perform no work. */
     void maybeSkipIdle();
 
+    /** Cross the warmup boundary: reset the stats registry and
+     *  rebase cycle and cache accounting at the current commit. */
+    void beginMeasurement();
+
     DynInst &rob(uint64_t seq);
     const DynInst &rob(uint64_t seq) const;
     size_t robSize() const { return rob_tail_ - rob_head_; }
@@ -403,6 +431,17 @@ class Pipeline
     std::deque<DynInst> fetch_q_; //!< fetched, awaiting rename
     uint64_t next_seq_ = 0;
     bool trace_done_ = false;
+
+    // Warmup measurement boundary (see run()). fetched_total_ counts
+    // every fetched instruction across the whole run — the registry's
+    // "fetched" counter rebases at the boundary, but the
+    // max_instructions bound must not.
+    bool warmup_pending_ = false;
+    uint64_t warmup_target_ = 0;
+    uint64_t measure_start_cycle_ = 0;
+    uint64_t fetched_total_ = 0;
+    uint64_t dcache_acc_base_ = 0, dcache_miss_base_ = 0;
+    uint64_t l2_acc_base_ = 0, l2_miss_base_ = 0;
 
     uint64_t now_ = 0;
     uint64_t fetch_resume_ = 0;      //!< fetch stalled until this cycle
@@ -432,7 +471,8 @@ class Pipeline
 
 /** Convenience: build, run, and return statistics. */
 SimStats simulate(const SimConfig &cfg, trace::TraceSource &src,
-                  uint64_t max_instructions = UINT64_MAX);
+                  uint64_t max_instructions = UINT64_MAX,
+                  uint64_t warmup_instructions = 0);
 
 } // namespace cesp::uarch
 

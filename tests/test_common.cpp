@@ -157,6 +157,18 @@ TEST(Histogram, MergeAddsBucketsAndOutOfRange)
     EXPECT_FALSE(a == b);
 }
 
+TEST(HistogramDeath, MergeOfMismatchedShapesIsFatalWithDiagnostic)
+{
+    // Merging histograms of different bucket counts or widths would
+    // silently misattribute samples; it must die naming both shapes
+    // so the offending pair is identifiable from the log alone.
+    Histogram a(3, 1.0);
+    Histogram wrong_count(4, 1.0);
+    EXPECT_DEATH(a.merge(wrong_count), "3 x 1.*4 x 1");
+    Histogram wrong_width(3, 2.0);
+    EXPECT_DEATH(a.merge(wrong_width), "shape mismatch");
+}
+
 TEST(Sample, MergeCombinesExtremes)
 {
     Sample a;

@@ -238,6 +238,64 @@ TEST(StatGroup, DiffNamesTheDifferingEntry)
     EXPECT_EQ(d.find("work"), std::string::npos);
 }
 
+TEST(StatGroup, SchemaDiffNamesTheFirstDifferingEntry)
+{
+    StatGroup a = demoGroup();
+    EXPECT_EQ(a.schemaDiff(demoGroup()), "");
+
+    // Extra entry: the counts differ.
+    StatGroup extra = demoGroup();
+    extra.addCounter("stalls", "cycles", "pipeline stalls");
+    EXPECT_NE(a.schemaDiff(extra).find("entry count"),
+              std::string::npos);
+
+    // Same shape, different name at one position.
+    StatGroup renamed("demo", "cfg-a");
+    renamed.addCounter("ticks", "cycles", "elapsed cycles");
+    renamed.addCounter("effort", "ops", "operations completed");
+    StatGroup two("demo", "cfg-a");
+    two.addCounter("ticks", "cycles", "elapsed cycles");
+    two.addCounter("work", "ops", "operations completed");
+    std::string d = two.schemaDiff(renamed);
+    EXPECT_NE(d.find("entry 1"), std::string::npos);
+    EXPECT_NE(d.find("work"), std::string::npos);
+    EXPECT_NE(d.find("effort"), std::string::npos);
+
+    // Same names, different histogram shape.
+    StatGroup h1("demo");
+    h1.addHistogram("occ", "entries", "occupancy", 4, 1.0);
+    StatGroup h2("demo");
+    h2.addHistogram("occ", "entries", "occupancy", 8, 1.0);
+    std::string hd = h1.schemaDiff(h2);
+    EXPECT_NE(hd.find("occ"), std::string::npos);
+    EXPECT_NE(hd.find("histogram shape"), std::string::npos);
+}
+
+/**
+ * Merging mismatched registries must fail loudly and say which entry
+ * broke — a sharded or swept merge over runs from different machine
+ * organizations (e.g. different cluster counts) is a harness bug,
+ * and "schema mismatch" alone sent people diffing JSON by hand.
+ */
+TEST(StatGroupDeath, MergeMismatchNamesTheCulprit)
+{
+    StatGroup a = demoGroup();
+    StatGroup extra = demoGroup();
+    extra.addCounter("stalls", "cycles", "pipeline stalls");
+    EXPECT_DEATH(a.merge(extra), "entry count 6 vs 7");
+
+    StatGroup h1("demo", "left");
+    h1.addHistogram("occ", "entries", "occupancy", 4, 1.0);
+    StatGroup h2("demo", "right");
+    h2.addHistogram("occ", "entries", "occupancy", 8, 1.0);
+    EXPECT_DEATH(h1.merge(h2), "occ.*histogram shape");
+    // The mismatch of per-cluster rows is the common real case:
+    // merging a 1-cluster run into a 2-cluster run dies naming the
+    // cluster counter, not with a generic size complaint.
+    uarch::SimStats one(1), two(2);
+    EXPECT_DEATH(one.group().merge(two.group()), "entry count");
+}
+
 /**
  * The sweep-level merge property: merging the per-task groups of a
  * parallel run equals merging those of the serial run, for any

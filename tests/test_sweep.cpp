@@ -132,6 +132,41 @@ TEST(Sweep, EmptyTaskList)
     EXPECT_TRUE(core::runSweep(none, 4).empty());
 }
 
+TEST(Sweep, DegenerateInputsClampDeterministically)
+{
+    // jobs == 0 means defaultJobs(): same results as serial, no
+    // division by a zero worker count anywhere.
+    trace::SyntheticParams sp;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 3000);
+    std::vector<uarch::SimConfig> configs = {core::baseline8Way(),
+                                             core::dependence8x8()};
+    std::vector<SimStats> def = core::runSweep(configs, buf, 0);
+    std::vector<SimStats> one = core::runSweep(configs, buf, 1);
+    ASSERT_EQ(def.size(), 2u);
+    for (size_t i = 0; i < def.size(); ++i)
+        EXPECT_EQ(fingerprint(def[i]), fingerprint(one[i]));
+
+    // The empty list is a no-op for every jobs value, including the
+    // degenerate ones (0 would otherwise spawn defaultJobs() workers
+    // with nothing to do; 65536 would try to spawn more threads than
+    // tasks exist).
+    std::vector<SweepTask> none;
+    for (unsigned jobs : {0u, 1u, 16u, 65536u})
+        EXPECT_TRUE(core::runSweep(none, jobs).empty())
+            << "jobs=" << jobs;
+
+    // A single task swamped with workers clamps to one worker.
+    std::vector<SweepTask> single = {{core::baseline8Way(), buf}};
+    std::vector<SimStats> flood = core::runSweep(single, 65536);
+    ASSERT_EQ(flood.size(), 1u);
+    EXPECT_EQ(fingerprint(flood[0]), fingerprint(one[0]));
+}
+
+TEST(Sweep, DefaultJobsIsPositive)
+{
+    EXPECT_GE(core::defaultJobs(), 1u);
+}
+
 namespace {
 
 /** RAII install/uninstall of the sweep fault-injection hook. */

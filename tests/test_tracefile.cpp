@@ -218,12 +218,71 @@ TEST(TraceFileFaults, TruncatedHeader)
     ASSERT_TRUE(trace::saveTrace(buf, path).ok());
     std::vector<uint8_t> bytes = readAll(path);
 
-    for (size_t keep : {0u, 7u, 15u, 16u, 31u}) {
+    for (size_t keep : {7u, 15u, 16u, 31u}) {
         writeAll(path, std::vector<uint8_t>(bytes.begin(),
                                             bytes.begin() + keep));
         expectCorrupt(path, TraceIoStatus::ShortRead,
                       TraceIoStatus::ShortRead);
     }
+}
+
+TEST(TraceFileFaults, ZeroLengthFileIsItsOwnStatus)
+{
+    // A zero-length file is the torn-create artifact (open(O_CREAT),
+    // crash, nothing written) — not a truncated trace. Both readers
+    // report EmptyFile, distinct from ShortRead, and mmap must
+    // reject it before the map attempt (mmap of length 0 is EINVAL).
+    const std::string path = scratchFile("empty.trc");
+    writeAll(path, {});
+    expectCorrupt(path, TraceIoStatus::EmptyFile,
+                  TraceIoStatus::EmptyFile);
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::EmptyFile),
+                 "empty-file");
+}
+
+TEST(TraceFileFaults, FailedOpensLeakNoFileDescriptors)
+{
+    // Every early-return path in MmapTraceSource::open closes its
+    // fd; every reject path unmaps. Exercise each failure shape many
+    // times and check the process's descriptor count is unchanged.
+    auto fdCount = []() {
+        size_t n = 0;
+        for ([[maybe_unused]] const auto &e :
+             std::filesystem::directory_iterator("/proc/self/fd"))
+            ++n;
+        return n;
+    };
+
+    trace::TraceBuffer buf = sampleTrace(300);
+    const std::string good = scratchFile("fdleak-good.trc");
+    ASSERT_TRUE(trace::saveTrace(buf, good).ok());
+    std::vector<uint8_t> bytes = readAll(good);
+
+    const std::string empty = scratchFile("fdleak-empty.trc");
+    writeAll(empty, {});
+    const std::string shorthdr = scratchFile("fdleak-short.trc");
+    writeAll(shorthdr, std::vector<uint8_t>(bytes.begin(),
+                                            bytes.begin() + 8));
+    std::vector<uint8_t> badmagic = bytes;
+    badmagic[0] = 'X';
+    const std::string foreign = scratchFile("fdleak-magic.trc");
+    writeAll(foreign, badmagic);
+
+    const size_t before = fdCount();
+    for (int i = 0; i < 32; ++i) {
+        trace::MmapTraceSource src;
+        EXPECT_EQ(src.open("/nonexistent/cesp-no-such-file").status,
+                  TraceIoStatus::OpenFailed);
+        EXPECT_EQ(src.open(empty).status, TraceIoStatus::EmptyFile);
+        EXPECT_EQ(src.open(shorthdr).status,
+                  TraceIoStatus::ShortRead);
+        EXPECT_EQ(src.open(foreign).status, TraceIoStatus::BadMagic);
+        // Success then replacement then destruction: the mapping
+        // (the fd is already closed by then) must not accumulate.
+        EXPECT_TRUE(src.open(good).ok());
+        EXPECT_TRUE(src.open(good).ok());
+    }
+    EXPECT_EQ(fdCount(), before);
 }
 
 TEST(TraceFileFaults, TruncatedPayload)
@@ -406,6 +465,7 @@ TEST(TraceCacheRecovery, RegeneratesAfterEveryCorruption)
 
     using Mutator = void (*)(std::vector<uint8_t> &);
     const Mutator mutators[] = {
+        [](std::vector<uint8_t> &b) { b.clear(); }, // torn create
         [](std::vector<uint8_t> &b) { b.resize(9); },
         [](std::vector<uint8_t> &b) { b.resize(b.size() - 7); },
         [](std::vector<uint8_t> &b) { b[4] = '?'; },

@@ -12,10 +12,20 @@
  *   cesp-sim --preset clustered2x4 --asm my_kernel.s
  *   cesp-sim --preset baseline --synthetic 1000000 --window 32
  *   cesp-sim --sweep --jobs 4
+ *   cesp-sim --workload compress --shards 8 --warmup 50000
  *
  * Multi-simulation runs (--sweep, --all-workloads) execute on the
  * parallel sweep engine; --jobs N picks the worker count (default:
  * all hardware threads). Output is identical for any --jobs value.
+ *
+ * --shards K splits every trace into K contiguous windows simulated
+ * in parallel and merges the measured stats (core::runSharded);
+ * --warmup N gives each window an N-record state-warming prefix
+ * drawn from the records just before it, whose stats are discarded.
+ * Sharding composes with every mode, including --sweep and
+ * --all-workloads (each (preset, workload) pair is sharded and its
+ * shards load-balance on the same pool). --shards 1 --warmup 0 (the
+ * default) is bit-identical to the unsharded run.
  */
 
 #include <cstdio>
@@ -30,6 +40,7 @@
 #include "core/machine.hpp"
 #include "core/presets.hpp"
 #include "core/sweep.hpp"
+#include "func/emulator.hpp"
 #include "trace/synthetic.hpp"
 #include "vlsi/clock.hpp"
 #include "workloads/workloads.hpp"
@@ -77,6 +88,10 @@ usage()
         "benchmark\n"
         "  --jobs N               parallel simulations for "
         "--sweep/--all-workloads\n"
+        "  --shards K             split each trace into K parallel "
+        "windows\n"
+        "  --warmup N             per-shard warmup records (stats "
+        "discarded)\n"
         "  --asm FILE             assemble and run FILE\n"
         "  --synthetic N          run an N-instruction synthetic "
         "trace\n"
@@ -139,10 +154,9 @@ findTech(const std::string &f)
  * complexity-effectiveness bottom line is part of the export.
  */
 StatGroup
-runGroup(const uarch::SimStats &s, const std::string &label,
-         double clock_mhz)
+runGroup(StatGroup g, const std::string &label, double clock_mhz)
 {
-    StatGroup g = s.group();
+    double ipc = g.value("ipc");
     g.label() = label;
     if (clock_mhz > 0.0) {
         g.addGauge("clock_mhz", "MHz",
@@ -151,7 +165,7 @@ runGroup(const uarch::SimStats &s, const std::string &label,
         g.addGauge("bips", "BIPS",
                    "billions of instructions per second: IPC times "
                    "the clock estimate",
-                   s.ipc() * clock_mhz / 1000.0);
+                   ipc * clock_mhz / 1000.0);
     }
     return g;
 }
@@ -186,7 +200,9 @@ main(int argc, char **argv)
     uint64_t synthetic = 0;
     bool all = false;
     bool sweep = false;
-    unsigned jobs = 0; // 0 = defaultJobs()
+    unsigned jobs = 0;   // 0 = defaultJobs()
+    unsigned shards = 1; // 1 = unsharded
+    uint64_t warmup = 0;
     bool verbose = false;
     std::string json_path;
     std::string csv_path;
@@ -239,6 +255,12 @@ main(int argc, char **argv)
             sweep = true;
         } else if (a == "--jobs") {
             jobs = static_cast<unsigned>(intArg(a, next(), 0, 65536));
+        } else if (a == "--shards") {
+            shards = static_cast<unsigned>(
+                intArg(a, next(), 1, 65536));
+        } else if (a == "--warmup") {
+            warmup = static_cast<uint64_t>(
+                intArg(a, next(), 0, 1000000000000LL));
         } else if (a == "--perfect-bpred") {
             perfect = true;
         } else if (a == "--json") {
@@ -290,6 +312,7 @@ main(int argc, char **argv)
     // Exporting to stdout must produce a machine-parseable document,
     // so the human-facing chatter (tables, clock line) is suppressed.
     const bool quiet = json_path == "-" || csv_path == "-";
+    const bool sharded = shards > 1 || warmup > 0;
 
     if (sweep) {
         // Configuration sweep (the Fig. 13 comparison writ large):
@@ -327,8 +350,19 @@ main(int argc, char **argv)
         for (const uarch::SimConfig &m : machines)
             for (const trace::TraceView &t : traces)
                 tasks.push_back({m, t});
-        std::vector<uarch::SimStats> stats =
-            core::runSweep(tasks, jobs);
+
+        // One group per (preset, workload) pair, in task order: the
+        // run's registry as-is, or — sharded — the merge of its K
+        // shard windows.
+        std::vector<StatGroup> groups;
+        if (sharded) {
+            groups = core::runShardedBatch(tasks, shards, warmup,
+                                           jobs);
+        } else {
+            for (const uarch::SimStats &s :
+                 core::runSweep(tasks, jobs))
+                groups.push_back(s.group());
+        }
 
         // Per-preset aggregate over its workloads via registry
         // merge; the merged group's derived IPC is total committed
@@ -342,18 +376,17 @@ main(int argc, char **argv)
         t.header(hdr);
         for (size_t m = 0; m < machines.size(); ++m) {
             std::vector<std::string> row = {kPresets[m].name};
-            auto first = stats.begin() +
-                static_cast<ptrdiff_t>(m * traces.size());
-            std::vector<uarch::SimStats> preset_stats(
-                first, first + static_cast<ptrdiff_t>(traces.size()));
+            size_t first = m * traces.size();
+            StatGroup agg = groups[first];
             for (size_t w = 0; w < traces.size(); ++w) {
-                const uarch::SimStats &s = preset_stats[w];
-                row.push_back(cell(s.ipc(), 3));
+                const StatGroup &g = groups[first + w];
+                row.push_back(cell(g.value("ipc"), 3));
                 runs.push_back(runGroup(
-                    s, std::string(kPresets[m].name) + " / " +
+                    g, std::string(kPresets[m].name) + " / " +
                            names[w], 0.0));
+                if (w > 0)
+                    agg.merge(g);
             }
-            StatGroup agg = core::mergedStats(preset_stats);
             agg.label() = std::string(kPresets[m].name) + " / all";
             row.push_back(cell(agg.value("ipc"), 3));
             merged.push_back(std::move(agg));
@@ -413,26 +446,35 @@ main(int argc, char **argv)
             tasks.push_back(
                 {cfg, core::cachedWorkloadTraceView(w.name)});
         }
-        std::vector<uarch::SimStats> stats =
-            core::runSweep(tasks, jobs);
+        std::vector<StatGroup> groups;
+        if (sharded) {
+            groups = core::runShardedBatch(tasks, shards, warmup,
+                                           jobs);
+        } else {
+            for (const uarch::SimStats &s :
+                 core::runSweep(tasks, jobs))
+                groups.push_back(s.group());
+        }
 
         Table t("All workloads on " + cfg.name);
         t.header({"benchmark", "IPC", "mispredict %", "dcache miss %",
                   "x-cluster %"});
         std::vector<StatGroup> runs;
         for (size_t i = 0; i < names.size(); ++i) {
-            const uarch::SimStats &s = stats[i];
-            t.row({names[i], cell(s.ipc(), 3),
-                   cell(100.0 * s.mispredictRate()),
-                   cell(100.0 * s.dcacheMissRate()),
-                   cell(s.interClusterPct())});
+            const StatGroup &g = groups[i];
+            t.row({names[i], cell(g.value("ipc"), 3),
+                   cell(100.0 * g.value("mispredict_rate")),
+                   cell(100.0 * g.value("dcache_miss_rate")),
+                   cell(g.value("intercluster_pct"))});
             runs.push_back(runGroup(
-                s, cfg.name + " / " + names[i], clock_mhz));
+                g, cfg.name + " / " + names[i], clock_mhz));
         }
         if (!quiet)
             t.print();
         if (!json_path.empty() || !csv_path.empty()) {
-            StatGroup agg = core::mergedStats(stats);
+            StatGroup agg = groups.front();
+            for (size_t i = 1; i < groups.size(); ++i)
+                agg.merge(groups[i]);
             agg.label() = cfg.name + " / all workloads";
             if (!json_path.empty())
                 writeExport(json_path, statGroupListJson(runs, {agg}));
@@ -444,9 +486,12 @@ main(int argc, char **argv)
 
     // Single-simulation modes: run, render the registry as a table,
     // and export the same group (plus clock/BIPS gauges) on request.
-    auto finish = [&](const uarch::SimStats &s,
+    // Sharded, "run" means K parallel windows merged — with the
+    // default --shards 1 --warmup 0 the two paths are bit-identical
+    // (StatGroup::sameValues), so the sharded path serves both.
+    auto finish = [&](const StatGroup &run,
                       const std::string &label) {
-        StatGroup g = runGroup(s, cfg.name + " / " + label,
+        StatGroup g = runGroup(run, cfg.name + " / " + label,
                                clock_mhz);
         if (!quiet)
             printStats(g, verbose);
@@ -455,9 +500,17 @@ main(int argc, char **argv)
         if (!csv_path.empty())
             writeExport(csv_path, g.toCsv());
     };
+    auto runView = [&](trace::TraceView tv) {
+        return core::runSharded(cfg, tv, shards, warmup, jobs)
+            .merged;
+    };
 
     if (!workload.empty()) {
-        finish(machine.runWorkload(workload), workload);
+        if (sharded)
+            finish(runView(core::cachedWorkloadTraceView(workload)),
+                   workload);
+        else
+            finish(machine.runWorkload(workload).group(), workload);
         return 0;
     }
     if (!asm_file.empty()) {
@@ -466,7 +519,14 @@ main(int argc, char **argv)
             fatal("cannot open '%s'", asm_file.c_str());
         std::stringstream ss;
         ss << in.rdbuf();
-        finish(machine.runProgram(ss.str(), 100000000ULL), asm_file);
+        if (sharded) {
+            trace::TraceBuffer buf;
+            func::runProgram(ss.str(), 100000000ULL, &buf);
+            finish(runView(buf), asm_file);
+        } else {
+            finish(machine.runProgram(ss.str(), 100000000ULL)
+                       .group(), asm_file);
+        }
         return 0;
     }
     if (synthetic > 0) {
@@ -474,7 +534,10 @@ main(int argc, char **argv)
         sp.seed = cfg.random_seed;
         trace::TraceBuffer buf =
             trace::generateSynthetic(sp, synthetic);
-        finish(machine.runTrace(buf), "synthetic");
+        if (sharded)
+            finish(runView(buf), "synthetic");
+        else
+            finish(machine.runTrace(buf).group(), "synthetic");
         return 0;
     }
     usage();
