@@ -6,85 +6,174 @@
  * predictor on the paper's comparisons (both machines in every
  * comparison share the same front end, so the *relative* results are
  * insensitive).
+ *
+ *   abl_bpred [--json FILE] [--jobs N]
+ *
+ * The per-workload results live in a StatGroup of gauges
+ * (`<predictor>.ipc`, `<predictor>.mispredict_pct`), and the geomean
+ * IPC ratios in a summary group, so --json exports exactly what the
+ * tables print, in the standard schema-versioned document. The
+ * (predictor x workload x machine) matrix runs on core::run.
  */
 
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
+#include "core/sweep.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace cesp;
 using namespace cesp::core;
 using uarch::BpredKind;
 
-int
-main()
+namespace {
+
+struct Pred
 {
-    struct Pred
-    {
-        const char *name;
-        BpredKind kind;
-        bool perfect;
+    const char *name; //!< table column header
+    const char *slug; //!< metric-name prefix in the export
+    BpredKind kind;
+    bool perfect;
+};
+
+const Pred kPreds[] = {
+    {"perfect", "perfect", BpredKind::Gshare, true},
+    {"gshare (Table 3)", "gshare", BpredKind::Gshare, false},
+    {"bimodal", "bimodal", BpredKind::Bimodal, false},
+    {"always-taken", "always_taken", BpredKind::AlwaysTaken, false},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    unsigned jobs = 0; // 0 = defaultJobs()
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (a == "--jobs" && i + 1 < argc) {
+            auto v = parseInt(argv[++i], 0, 65536);
+            if (!v)
+                fatal("invalid value '%s' for --jobs", argv[i]);
+            jobs = static_cast<unsigned>(*v);
+        } else {
+            std::fprintf(stderr,
+                         "usage: abl_bpred [--json FILE] [--jobs N]\n");
+            return 2;
+        }
+    }
+    const bool quiet = json_path == "-";
+
+    // Resolve traces on the main thread (the workload cache is not
+    // thread-safe), then fan the full matrix out: for each predictor
+    // and workload, the baseline window machine and the
+    // dependence-based machine.
+    std::vector<std::string> names;
+    std::vector<trace::TraceView> traces;
+    for (const auto &w : workloads::allWorkloads()) {
+        names.push_back(w.name);
+        traces.push_back(cachedWorkloadTraceView(w.name));
+    }
+
+    std::vector<SweepTask> tasks;
+    for (const Pred &p : kPreds) {
+        for (const trace::TraceView &tv : traces) {
+            uarch::SimConfig base = baseline8Way();
+            base.bpred.kind = p.kind;
+            base.bpred.perfect = p.perfect;
+            uarch::SimConfig dep = dependence8x8();
+            dep.bpred.kind = p.kind;
+            dep.bpred.perfect = p.perfect;
+            tasks.push_back({base, tv});
+            tasks.push_back({dep, tv});
+        }
+    }
+    RunOptions opt;
+    opt.jobs = jobs;
+    std::vector<uarch::SimStats> stats =
+        std::move(run(tasks, opt).stats);
+    // stats[((p * W) + w) * 2] is baseline, [... + 1] dependence.
+    auto at = [&](size_t p, size_t w, bool dep) -> uarch::SimStats & {
+        return stats[(p * names.size() + w) * 2 + (dep ? 1 : 0)];
     };
-    const Pred preds[] = {
-        {"perfect", BpredKind::Gshare, true},
-        {"gshare (Table 3)", BpredKind::Gshare, false},
-        {"bimodal", BpredKind::Bimodal, false},
-        {"always-taken", BpredKind::AlwaysTaken, false},
-    };
+
+    std::vector<std::string> hdr = {"benchmark"};
+    for (const Pred &p : kPreds)
+        hdr.push_back(p.name);
 
     Table t("Branch predictor ablation: baseline IPC / misprediction "
             "rate %");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (const auto &p : preds)
-        hdr.push_back(p.name);
     t.header(hdr);
-
-    for (const auto &w : workloads::allWorkloads()) {
-        std::vector<std::string> row = {w.name};
-        for (const auto &p : preds) {
-            uarch::SimConfig cfg = baseline8Way();
-            cfg.name = p.name;
-            cfg.bpred.kind = p.kind;
-            cfg.bpred.perfect = p.perfect;
-            auto s = Machine(cfg).runWorkload(w.name);
+    std::vector<StatGroup> groups;
+    for (size_t w = 0; w < names.size(); ++w) {
+        StatGroup g("bpred_ablation", names[w]);
+        std::vector<std::string> row = {names[w]};
+        for (size_t p = 0; p < std::size(kPreds); ++p) {
+            const uarch::SimStats &s = at(p, w, false);
+            g.addGauge(std::string(kPreds[p].slug) + ".ipc",
+                       "inst/cycle",
+                       "Baseline IPC under this predictor", s.ipc());
+            g.addGauge(std::string(kPreds[p].slug) +
+                           ".mispredict_pct", "%",
+                       "Conditional misprediction rate under this "
+                       "predictor",
+                       100.0 * s.mispredictRate());
             row.push_back(strprintf("%.2f / %.1f", s.ipc(),
                                     100.0 * s.mispredictRate()));
         }
         t.row(row);
+        groups.push_back(std::move(g));
     }
-    t.print();
 
-    // Relative dep-based result under different predictors.
+    // Relative dep-based result under each predictor: the geomean
+    // over workloads of dep IPC / baseline IPC.
+    StatGroup summary("bpred_ablation.ratio",
+                      "dep8x8 over baseline, geomean across "
+                      "workloads");
     Table r("Dependence-based IPC ratio vs baseline under each "
             "predictor");
+    hdr[0] = "";
     r.header(hdr);
     std::vector<std::string> row = {"geomean ratio"};
-    for (const auto &p : preds) {
-        uarch::SimConfig base = baseline8Way();
-        base.bpred.kind = p.kind;
-        base.bpred.perfect = p.perfect;
-        uarch::SimConfig dep = dependence8x8();
-        dep.bpred.kind = p.kind;
-        dep.bpred.perfect = p.perfect;
+    for (size_t p = 0; p < std::size(kPreds); ++p) {
         double prod = 1.0;
-        int n = 0;
-        for (const auto &w : workloads::allWorkloads()) {
-            double a = Machine(base).runWorkload(w.name).ipc();
-            double b = Machine(dep).runWorkload(w.name).ipc();
-            prod *= b / a;
-            ++n;
-        }
-        row.push_back(cell(std::pow(prod, 1.0 / n), 3));
+        for (size_t w = 0; w < names.size(); ++w)
+            prod *= at(p, w, true).ipc() / at(p, w, false).ipc();
+        double geomean = std::pow(
+            prod, 1.0 / static_cast<double>(names.size()));
+        summary.addGauge(std::string(kPreds[p].slug) + ".ipc_ratio",
+                         "ratio",
+                         "Geomean dep8x8/baseline IPC ratio under "
+                         "this predictor",
+                         geomean);
+        row.push_back(cell(geomean, 3));
     }
     r.row(row);
-    r.print();
-    std::puts("The dependence-based machine tracks the window machine "
-              "under every predictor: the comparison is front-end "
-              "insensitive.");
+
+    if (!quiet) {
+        t.print();
+        r.print();
+        std::puts("The dependence-based machine tracks the window "
+                  "machine under every predictor: the comparison is "
+                  "front-end insensitive.");
+    }
+    if (!json_path.empty()) {
+        std::string err;
+        if (!writeTextOutput(json_path,
+                             statGroupListJson(groups, {summary}),
+                             &err))
+            fatal("%s", err.c_str());
+    }
     return 0;
 }

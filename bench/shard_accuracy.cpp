@@ -79,22 +79,26 @@ BM_ShardedWorkload(benchmark::State &state)
     const uarch::SimConfig cfg = core::baseline8Way();
     const MonoBaseline &mono = monoBaseline();
 
+    core::RunOptions opt;
+    opt.jobs = k;
+    opt.shards = k;
+    opt.warmup = kWarmup;
+
     double merged_ipc = 0.0;
     for (auto _ : state) {
-        core::ShardedRun run =
-            core::runSharded(cfg, tv, k, kWarmup, k);
-        merged_ipc = run.merged.value("ipc");
+        core::RunResult run = core::run({{cfg, tv}}, opt);
+        merged_ipc = run.groups[0].value("ipc");
         benchmark::DoNotOptimize(merged_ipc);
         state.SetItemsProcessed(
             state.items_processed() +
-            static_cast<int64_t>(run.merged.counter("committed")));
+            static_cast<int64_t>(run.groups[0].counter("committed")));
     }
 
     // Honest wall clock for one sharded run on this host (jobs = K
     // threads, however many cores exist), then each shard serially
     // for the critical path a K-core host would pay.
     auto t0 = std::chrono::steady_clock::now();
-    core::runSharded(cfg, tv, k, kWarmup, k);
+    core::run({{cfg, tv}}, opt);
     auto t1 = std::chrono::steady_clock::now();
     const double sharded_secs =
         std::chrono::duration<double>(t1 - t0).count();

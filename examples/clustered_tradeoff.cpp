@@ -60,7 +60,10 @@ main(int argc, char **argv)
     for (const uarch::SimConfig &cfg : machines)
         for (const trace::TraceView &t : traces)
             tasks.push_back({cfg, t});
-    std::vector<uarch::SimStats> stats = runSweep(tasks, jobs);
+    RunOptions opt;
+    opt.jobs = jobs;
+    std::vector<uarch::SimStats> stats =
+        std::move(run(tasks, opt).stats);
 
     // Instruction-weighted mean IPC of machine m over all workloads:
     // merge the per-run registries and read the recomputed derived

@@ -69,7 +69,10 @@ main(int argc, char **argv)
     for (const Variant &v : variants)
         for (const trace::TraceView &t : traces)
             tasks.push_back({v.cfg, t});
-    std::vector<uarch::SimStats> stats = core::runSweep(tasks, jobs);
+    core::RunOptions opt;
+    opt.jobs = jobs;
+    std::vector<uarch::SimStats> stats =
+        std::move(core::run(tasks, opt).stats);
 
     Table t("Complexity-effectiveness across issue widths (0.18um)");
     t.header({"machine", "IPC", "clock ps", "clock MHz", "BIPS",

@@ -5,6 +5,7 @@
 
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -96,7 +97,7 @@ JsonWriter::separate()
     }
     if (need_comma_)
         out_ += ',';
-    if (depth_ > 0) {
+    if (depth_ > 0 && indent_ >= 0) {
         out_ += '\n';
         out_.append(static_cast<size_t>(depth_ * indent_), ' ');
     }
@@ -115,8 +116,10 @@ void
 JsonWriter::endObject()
 {
     --depth_;
-    out_ += '\n';
-    out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+    if (indent_ >= 0) {
+        out_ += '\n';
+        out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+    }
     out_ += '}';
     need_comma_ = true;
 }
@@ -134,8 +137,10 @@ void
 JsonWriter::endArray()
 {
     --depth_;
-    out_ += '\n';
-    out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+    if (indent_ >= 0) {
+        out_ += '\n';
+        out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+    }
     out_ += ']';
     need_comma_ = true;
 }
@@ -145,7 +150,7 @@ JsonWriter::key(std::string_view k)
 {
     separate();
     out_ += jsonString(k);
-    out_ += ": ";
+    out_ += indent_ >= 0 ? ": " : ":";
     after_key_ = true;
 }
 
@@ -266,12 +271,13 @@ StatGroup::addSample(std::string name, std::string unit,
 
 size_t
 StatGroup::addHistogram(std::string name, std::string unit,
-                        std::string desc, size_t buckets, double width)
+                        std::string desc, size_t buckets, double width,
+                        bool growable)
 {
     size_t i = addEntry(StatKind::Histogram, std::move(name),
                         std::move(unit), std::move(desc));
     entries_[i].store = histograms_.size();
-    histograms_.emplace_back(buckets, width);
+    histograms_.emplace_back(buckets, width, growable);
     return entries_[i].store;
 }
 
@@ -371,7 +377,13 @@ StatGroup::schemaDiff(const StatGroup &other) const
         if (a.kind == StatKind::Histogram) {
             const Histogram &ha = histograms_[a.store];
             const Histogram &hb = other.histograms_[b.store];
-            if (ha.buckets() != hb.buckets() ||
+            if (ha.growable() != hb.growable())
+                return strprintf("entry %zu ('%s'): growable vs "
+                                 "fixed histogram", i, a.name.c_str());
+            // Growable histograms size themselves from the samples;
+            // differing bucket counts are a value difference there,
+            // not a schema one.
+            if ((!ha.growable() && ha.buckets() != hb.buckets()) ||
                 ha.width() != hb.width())
                 return strprintf("entry %zu ('%s'): histogram shape "
                                  "%zu x %g vs %zu x %g", i,
@@ -405,6 +417,40 @@ StatGroup::merge(const StatGroup &other)
         samples_[i].merge(other.samples_[i]);
     for (size_t i = 0; i < histograms_.size(); ++i)
         histograms_[i].merge(other.histograms_[i]);
+}
+
+StatGroup
+StatGroup::deltaSince(const StatGroup &prev) const
+{
+    std::string why = schemaDiff(prev);
+    if (!why.empty())
+        fatal("StatGroup::deltaSince: schema mismatch between '%s' "
+              "and '%s': %s", name_.c_str(), prev.name_.c_str(),
+              why.c_str());
+    StatGroup d = *this;
+    for (size_t i = 0; i < d.counters_.size(); ++i) {
+        if (prev.counters_[i] > d.counters_[i])
+            fatal("StatGroup::deltaSince: counter #%zu decreased "
+                  "since the snapshot", i);
+        d.counters_[i] -= prev.counters_[i];
+    }
+    for (size_t i = 0; i < d.gauges_.size(); ++i)
+        d.gauges_[i] -= prev.gauges_[i];
+    for (size_t i = 0; i < d.samples_.size(); ++i) {
+        const Sample &now = samples_[i];
+        const Sample &was = prev.samples_[i];
+        if (was.count() > now.count())
+            fatal("StatGroup::deltaSince: sample #%zu count "
+                  "decreased since the snapshot", i);
+        // min/max stay cumulative: the extremes of only the new
+        // samples are not recoverable from two running accumulators.
+        d.samples_[i].restore(now.count() - was.count(),
+                              now.sum() - was.sum(), now.min(),
+                              now.max());
+    }
+    for (size_t i = 0; i < d.histograms_.size(); ++i)
+        d.histograms_[i].subtract(prev.histograms_[i]);
+    return d;
 }
 
 bool
@@ -450,13 +496,16 @@ StatGroup::diff(const StatGroup &other) const
             if (!(a == b)) {
                 out += strprintf("%s: histogram differs:",
                                  e.name.c_str());
-                for (size_t i = 0; i < a.buckets(); ++i)
-                    if (a.bucket(i) != b.bucket(i))
+                size_t n = std::max(a.buckets(), b.buckets());
+                for (size_t i = 0; i < n; ++i) {
+                    uint64_t av = i < a.buckets() ? a.bucket(i) : 0;
+                    uint64_t bv = i < b.buckets() ? b.bucket(i) : 0;
+                    if (av != bv)
                         out += strprintf(
                             " [%zu]=%llu/%llu", i,
-                            static_cast<unsigned long long>(a.bucket(i)),
-                            static_cast<unsigned long long>(
-                                b.bucket(i)));
+                            static_cast<unsigned long long>(av),
+                            static_cast<unsigned long long>(bv));
+                }
                 if (a.underflow() != b.underflow() ||
                     a.overflow() != b.overflow())
                     out += strprintf(
@@ -560,6 +609,12 @@ StatGroup::writeJson(JsonWriter &w) const
             const Histogram &h = histograms_[e.store];
             w.key("width");
             w.value(h.width());
+            // Absent means fixed-shape, keeping PR3-era documents
+            // parseable and byte-stable.
+            if (h.growable()) {
+                w.key("growable");
+                w.value(true);
+            }
             w.key("total");
             w.value(h.total());
             w.key("underflow");
@@ -947,18 +1002,14 @@ parseFail(std::string *error, const char *fmt, const char *a = "")
     return false;
 }
 
-} // namespace
-
+/**
+ * Rebuild a StatGroup from an already-parsed "cesp.statgroup" object.
+ * Shared by fromJson (whole-document), the list-document loader, and
+ * the JSON-lines reader, which all embed the same group layout.
+ */
 bool
-StatGroup::fromJson(const std::string &text, StatGroup &out,
-                    std::string *error)
+groupFromJval(const JVal &root, StatGroup &out, std::string *error)
 {
-    if (error)
-        error->clear();
-    JVal root;
-    JsonParser p(text, error);
-    if (!p.parse(root))
-        return false;
     if (root.type != JVal::Obj)
         return parseFail(error, "top level is not an object");
     const JVal *schema = root.get("schema");
@@ -1034,6 +1085,7 @@ StatGroup::fromJson(const std::string &text, StatGroup &out,
             const JVal *under = m.get("underflow");
             const JVal *over = m.get("overflow");
             const JVal *counts = m.get("counts");
+            const JVal *growable = m.get("growable");
             if (!width || !under || !over || !counts ||
                 counts->type != JVal::Arr)
                 return parseFail(error, "histogram '%s' misses parts",
@@ -1044,7 +1096,8 @@ StatGroup::fromJson(const std::string &text, StatGroup &out,
                 buckets.push_back(b.toU64());
             size_t i = g.addHistogram(name->raw, unit->raw, desc->raw,
                                       buckets.size(),
-                                      width->toDouble());
+                                      width->toDouble(),
+                                      growable && growable->boolean);
             g.histogramAt(i).restore(std::move(buckets),
                                      under->toU64(), over->toU64());
         } else {
@@ -1054,6 +1107,21 @@ StatGroup::fromJson(const std::string &text, StatGroup &out,
     }
     out = std::move(g);
     return true;
+}
+
+} // namespace
+
+bool
+StatGroup::fromJson(const std::string &text, StatGroup &out,
+                    std::string *error)
+{
+    if (error)
+        error->clear();
+    JVal root;
+    JsonParser p(text, error);
+    if (!p.parse(root))
+        return false;
+    return groupFromJval(root, out, error);
 }
 
 std::string
@@ -1090,6 +1158,284 @@ statGroupListCsv(const std::vector<StatGroup> &groups)
         out += g.toCsv();
     }
     return out;
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines streaming
+
+StatStreamWriter::StatStreamWriter(const std::string &path)
+    : path_(path)
+{
+    if (path == "-") {
+        file_ = stdout;
+        owns_file_ = false;
+        return;
+    }
+    file_ = std::fopen(path.c_str(), "w");
+    owns_file_ = true;
+    if (!file_) {
+        failed_ = true;
+        error_ = strprintf("cannot open '%s' for writing",
+                           path.c_str());
+    }
+}
+
+StatStreamWriter::~StatStreamWriter()
+{
+    if (file_ && owns_file_)
+        std::fclose(file_);
+}
+
+bool
+StatStreamWriter::append(const StatStreamMeta &meta,
+                         const StatGroup &stats, const StatGroup *delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_ || failed_)
+        return false;
+    JsonWriter w(-1);
+    w.beginObject();
+    w.key("schema");
+    w.value(kStatsStreamSchemaName);
+    w.key("schema_version");
+    w.value(kStatsSchemaVersion);
+    w.key("seq");
+    w.value(seq_++);
+    w.key("kind");
+    w.value(meta.kind);
+    if (meta.task >= 0) {
+        w.key("task");
+        w.value(static_cast<uint64_t>(meta.task));
+    }
+    if (meta.shard >= 0) {
+        w.key("shard");
+        w.value(static_cast<uint64_t>(meta.shard));
+    }
+    if (meta.interval >= 0) {
+        w.key("interval");
+        w.value(static_cast<uint64_t>(meta.interval));
+    }
+    w.key("stats");
+    stats.writeJson(w);
+    if (delta) {
+        w.key("delta");
+        delta->writeJson(w);
+    }
+    w.endObject();
+    std::string line = w.str();
+    line += '\n';
+    // Write + flush per record so a consumer tailing the file (or a
+    // crash mid-sweep) sees every finished run.
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        failed_ = true;
+        error_ = strprintf("short write to '%s'", path_.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readStatStream(const std::string &text,
+               std::vector<StatStreamRecord> &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    out.clear();
+    size_t pos = 0;
+    size_t lineno = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string line_err;
+        JVal root;
+        JsonParser p(line, &line_err);
+        if (!p.parse(root) || root.type != JVal::Obj) {
+            if (error)
+                *error = strprintf("line %zu: %s", lineno,
+                                   line_err.empty()
+                                       ? "not a JSON object"
+                                       : line_err.c_str());
+            return false;
+        }
+        const JVal *schema = root.get("schema");
+        const JVal *version = root.get("schema_version");
+        const JVal *kind = root.get("kind");
+        const JVal *stats = root.get("stats");
+        if (!schema || schema->type != JVal::Str ||
+            schema->raw != kStatsStreamSchemaName || !version ||
+            version->toU64() !=
+                static_cast<uint64_t>(kStatsSchemaVersion) ||
+            !kind || kind->type != JVal::Str || !stats) {
+            if (error)
+                *error = strprintf(
+                    "line %zu: not a %s record", lineno,
+                    kStatsStreamSchemaName);
+            return false;
+        }
+        StatStreamRecord rec;
+        if (const JVal *seq = root.get("seq"))
+            rec.seq = seq->toU64();
+        rec.kind = kind->raw;
+        if (const JVal *task = root.get("task"))
+            rec.task = static_cast<int64_t>(task->toU64());
+        if (const JVal *shard = root.get("shard"))
+            rec.shard = static_cast<int64_t>(shard->toU64());
+        if (const JVal *interval = root.get("interval"))
+            rec.interval = static_cast<int64_t>(interval->toU64());
+        std::string group_err;
+        if (!groupFromJval(*stats, rec.stats, &group_err)) {
+            if (error)
+                *error = strprintf("line %zu: stats: %s", lineno,
+                                   group_err.c_str());
+            return false;
+        }
+        if (const JVal *delta = root.get("delta")) {
+            if (!groupFromJval(*delta, rec.delta, &group_err)) {
+                if (error)
+                    *error = strprintf("line %zu: delta: %s", lineno,
+                                       group_err.c_str());
+                return false;
+            }
+            rec.has_delta = true;
+        }
+        out.push_back(std::move(rec));
+    }
+    return true;
+}
+
+namespace {
+
+bool
+readTextInput(const std::string &path, std::string &out,
+              std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (error)
+            *error = strprintf("cannot open '%s'", path.c_str());
+        return false;
+    }
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (!ok && error)
+        *error = strprintf("read error on '%s'", path.c_str());
+    return ok;
+}
+
+/** Pick the most aggregated record kind present in a stream. */
+const char *
+preferredStreamKind(const std::vector<StatStreamRecord> &recs)
+{
+    for (const char *kind : {"run", "merged", "shard", "snapshot"})
+        for (const StatStreamRecord &r : recs)
+            if (r.kind == kind)
+                return kind;
+    return "";
+}
+
+} // namespace
+
+bool
+loadStatGroups(const std::string &path, std::vector<StatGroup> &out,
+               std::string *error)
+{
+    if (error)
+        error->clear();
+    out.clear();
+    std::string text;
+    if (!readTextInput(path, text, error))
+        return false;
+
+    // A whole-text parse distinguishes the single-document formats
+    // from a multi-line stream (which fails with trailing content).
+    std::string doc_err;
+    JVal root;
+    JsonParser p(text, &doc_err);
+    if (p.parse(root) && root.type == JVal::Obj) {
+        const JVal *schema = root.get("schema");
+        std::string name =
+            schema && schema->type == JVal::Str ? schema->raw : "";
+        if (name == kStatsSchemaName) {
+            StatGroup g;
+            if (!groupFromJval(root, g, error))
+                return false;
+            out.push_back(std::move(g));
+            return true;
+        }
+        if (name == "cesp.statgroup.list") {
+            const JVal *groups = root.get("groups");
+            const JVal *merged = root.get("merged");
+            const JVal *use =
+                groups && !groups->arr.empty() ? groups : merged;
+            if (!use || use->type != JVal::Arr) {
+                if (error)
+                    *error = strprintf(
+                        "'%s': list document has no groups",
+                        path.c_str());
+                return false;
+            }
+            for (const JVal &gj : use->arr) {
+                StatGroup g;
+                if (!groupFromJval(gj, g, error))
+                    return false;
+                out.push_back(std::move(g));
+            }
+            return true;
+        }
+        if (name != kStatsStreamSchemaName) {
+            if (error)
+                *error = strprintf(
+                    "'%s': unrecognised schema '%s'", path.c_str(),
+                    name.c_str());
+            return false;
+        }
+        // A one-record stream parses as a single object; fall
+        // through to the stream reader.
+    }
+
+    std::vector<StatStreamRecord> recs;
+    if (!readStatStream(text, recs, error)) {
+        if (error)
+            *error = strprintf("'%s': %s", path.c_str(),
+                               error->c_str());
+        return false;
+    }
+    std::string kind = preferredStreamKind(recs);
+    std::vector<const StatStreamRecord *> picked;
+    for (const StatStreamRecord &r : recs)
+        if (r.kind == kind)
+            picked.push_back(&r);
+    // Workers append in completion order; comparisons pair by
+    // position, so order by the indices stamped into the records.
+    std::stable_sort(picked.begin(), picked.end(),
+                     [](const StatStreamRecord *a,
+                        const StatStreamRecord *b) {
+                         if (a->task != b->task)
+                             return a->task < b->task;
+                         if (a->shard != b->shard)
+                             return a->shard < b->shard;
+                         return a->interval < b->interval;
+                     });
+    for (const StatStreamRecord *r : picked)
+        out.push_back(r->stats);
+    if (out.empty()) {
+        if (error)
+            *error = strprintf("'%s': no stat records", path.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool

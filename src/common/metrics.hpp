@@ -20,6 +20,8 @@
 #define CESP_COMMON_METRICS_HPP
 
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +35,9 @@ constexpr int kStatsSchemaVersion = 1;
 
 /** Identifier written in the "schema" field of a group document. */
 constexpr const char *kStatsSchemaName = "cesp.statgroup";
+
+/** Identifier written in every JSON-lines stream record. */
+constexpr const char *kStatsStreamSchemaName = "cesp.statgroup.jsonl";
 
 /** What a registered metric is and how it merges. */
 enum class StatKind
@@ -77,7 +82,9 @@ struct StatVisitor
  * Minimal streaming JSON writer (objects, arrays, scalars) shared by
  * StatGroup::toJson and the harnesses that compose multi-group
  * documents. Doubles are written with enough digits to round-trip
- * exactly; strings are escaped per RFC 8259.
+ * exactly; strings are escaped per RFC 8259. A negative indent
+ * selects compact mode: no newlines or indentation, for one-line
+ * JSON-lines records.
  */
 class JsonWriter
 {
@@ -135,8 +142,11 @@ class StatGroup
                       std::string den, double scale = 1.0);
     size_t addSample(std::string name, std::string unit,
                      std::string desc);
+    /** @p growable histograms auto-range (see Histogram); @p buckets
+     *  is then only the initial shape. */
     size_t addHistogram(std::string name, std::string unit,
-                        std::string desc, size_t buckets, double width);
+                        std::string desc, size_t buckets, double width,
+                        bool growable = false);
 
     // ---- identity ----
     const std::string &name() const { return name_; }
@@ -185,6 +195,15 @@ class StatGroup
     std::string schemaDiff(const StatGroup &other) const;
     /** sameSchema and every stored value equal. */
     bool sameValues(const StatGroup &other) const;
+    /**
+     * The change accumulated since @p prev, an earlier snapshot of
+     * this group: counters, gauges, sample count/sum, and histogram
+     * buckets subtract; derived metrics recompute over the delta
+     * counters. Sample min/max are NOT invertible, so the delta keeps
+     * the cumulative extremes. Schemas must match (fatal otherwise)
+     * and every monotonic value must be >= its value in @p prev.
+     */
+    StatGroup deltaSince(const StatGroup &prev) const;
     /** Human-readable list of differing entries (for test output). */
     std::string diff(const StatGroup &other) const;
     /** Call the kind-matching visitor method for every entry. */
@@ -238,6 +257,94 @@ std::string statGroupListCsv(const std::vector<StatGroup> &groups);
  */
 bool writeTextOutput(const std::string &path, const std::string &text,
                      std::string *error);
+
+// ---------------------------------------------------------------------
+// JSON-lines streaming ("cesp.statgroup.jsonl")
+
+/**
+ * Identity of one stream record: what finished (a whole run, one
+ * shard of a run, an interval snapshot, or a merged aggregate) and
+ * where it belongs in the experiment. Negative indices are omitted
+ * from the record.
+ */
+struct StatStreamMeta
+{
+    std::string kind = "run"; //!< "run", "shard", "snapshot", "merged"
+    int64_t task = -1;        //!< task index within the sweep
+    int64_t shard = -1;       //!< shard window within the task
+    int64_t interval = -1;    //!< snapshot interval within the run
+};
+
+/**
+ * Appends one compact, self-describing JSON record per line to a file
+ * ("-" = stdout). append() is thread-safe: sweep workers call it as
+ * runs finish, so a million-point sweep streams results in O(1)
+ * memory instead of buffering a cesp.statgroup.list document.
+ * Records carry a monotonic "seq" assigned under the lock; consumers
+ * order by the task/shard/interval indices, not by arrival.
+ */
+class StatStreamWriter
+{
+  public:
+    explicit StatStreamWriter(const std::string &path);
+    ~StatStreamWriter();
+    StatStreamWriter(const StatStreamWriter &) = delete;
+    StatStreamWriter &operator=(const StatStreamWriter &) = delete;
+
+    bool ok() const { return file_ != nullptr && !failed_; }
+    const std::string &error() const { return error_; }
+
+    /** Write one record; @p delta (optional) is the per-interval
+     *  change emitted alongside a cumulative snapshot. Returns false
+     *  after any I/O failure (the stream stays failed). */
+    bool append(const StatStreamMeta &meta, const StatGroup &stats,
+                const StatGroup *delta = nullptr);
+
+  private:
+    std::FILE *file_ = nullptr;
+    bool owns_file_ = false;
+    bool failed_ = false;
+    std::string error_;
+    std::string path_;
+    uint64_t seq_ = 0;
+    std::mutex mu_;
+};
+
+/** One parsed stream record (indices are -1 when absent). */
+struct StatStreamRecord
+{
+    uint64_t seq = 0;
+    std::string kind;
+    int64_t task = -1;
+    int64_t shard = -1;
+    int64_t interval = -1;
+    StatGroup stats;
+    bool has_delta = false;
+    StatGroup delta;
+};
+
+/**
+ * Parse a JSON-lines stream produced by StatStreamWriter. Blank lines
+ * are skipped; any malformed line fails the whole read. Records are
+ * returned in file order.
+ */
+bool readStatStream(const std::string &text,
+                    std::vector<StatStreamRecord> &out,
+                    std::string *error);
+
+/**
+ * Load StatGroups from any export this stack produces: a single
+ * "cesp.statgroup" document, a "cesp.statgroup.list" document (its
+ * "groups", or "merged" when groups is empty), or a
+ * "cesp.statgroup.jsonl" stream. Stream records are filtered to the
+ * most aggregated kind present ("run", else "merged", else "shard",
+ * else "snapshot" cumulatives) and ordered by their task index, so
+ * two streams of the same sweep compare positionally regardless of
+ * worker arrival order. Returns false and sets @p error on I/O or
+ * parse failure.
+ */
+bool loadStatGroups(const std::string &path,
+                    std::vector<StatGroup> &out, std::string *error);
 
 } // namespace cesp
 

@@ -68,12 +68,21 @@ class Sample
  * counters, so a clamped sample is visible in reports and exports
  * instead of silently corrupting the top bucket. total() counts every
  * sample, in range or not.
+ *
+ * A growable histogram auto-ranges instead of overflowing: a sample
+ * past the last bucket grows the bucket array (amortized, capacity
+ * doubling) so no non-negative sample is ever lost to the overflow
+ * counter. The logical bucket count is exactly max-seen-bucket + 1 —
+ * a function of the samples, not of their order — so two growable
+ * histograms fed the same samples in any order compare equal and
+ * export identically. reset() shrinks back to the constructed size.
  */
 class Histogram
 {
   public:
-    Histogram(size_t buckets, double width)
-        : counts_(buckets, 0), width_(width)
+    Histogram(size_t buckets, double width, bool growable = false)
+        : counts_(buckets, 0), width_(width), base_buckets_(buckets),
+          growable_(growable)
     {
     }
 
@@ -99,8 +108,11 @@ class Histogram
         }
         size_t b = static_cast<size_t>(v / width_);
         if (b >= counts_.size()) {
-            overflow_ += n;
-            return;
+            if (!growable_) {
+                overflow_ += n;
+                return;
+            }
+            grow(b + 1);
         }
         counts_[b] += n;
     }
@@ -108,6 +120,7 @@ class Histogram
     uint64_t bucket(size_t i) const { return counts_[i]; }
     size_t buckets() const { return counts_.size(); }
     double width() const { return width_; }
+    bool growable() const { return growable_; }
     uint64_t total() const { return total_; }
     uint64_t underflow() const { return underflow_; }
     uint64_t overflow() const { return overflow_; }
@@ -128,20 +141,36 @@ class Histogram
 
     void reset();
 
-    /** Add another histogram's counts. The shapes (bucket count and
-     *  width) must match; fatal otherwise. */
+    /** Add another histogram's counts. Width and growability must
+     *  match; fatal otherwise. Fixed histograms additionally require
+     *  equal bucket counts, while growable ones grow to the larger
+     *  shape, so merging differently-grown histograms stays exact. */
     void merge(const Histogram &o);
 
+    /** Subtract an earlier snapshot of this histogram, leaving the
+     *  samples recorded since. @p prev must have the same width and
+     *  growability and be bucket-wise <= *this; fatal otherwise. */
+    void subtract(const Histogram &prev);
+
     /** Restore from exported parts (used by StatGroup::fromJson).
-     *  Recomputes total as in-range + underflow + overflow. */
+     *  Recomputes total as in-range + underflow + overflow. A
+     *  growable histogram accepts any count-vector size; a fixed one
+     *  requires an exact shape match. */
     void restore(std::vector<uint64_t> counts, uint64_t underflow,
                  uint64_t overflow);
 
+    /** Value equality over logical content: width, growability,
+     *  out-of-range counters, and bucket-wise counts with missing
+     *  trailing buckets treated as zero. */
     bool operator==(const Histogram &o) const;
 
   private:
+    void grow(size_t buckets);
+
     std::vector<uint64_t> counts_;
     double width_;
+    size_t base_buckets_;
+    bool growable_ = false;
     uint64_t total_ = 0;
     uint64_t underflow_ = 0;
     uint64_t overflow_ = 0;

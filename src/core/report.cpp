@@ -5,6 +5,9 @@
 
 #include "core/report.hpp"
 
+#include <algorithm>
+
+#include "common/logging.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
 #include "vlsi/clock.hpp"
@@ -74,6 +77,69 @@ runSpeedupStudy(vlsi::Process tech)
     study.mean_speedup = n ? speedup_sum / static_cast<double>(n) : 0.0;
     study.mean_ipc_ratio = n ? ratio_sum / static_cast<double>(n) : 0.0;
     return study;
+}
+
+namespace {
+
+/** Count the entries StatGroup::diff flags (one per line). */
+size_t
+countDiffLines(const std::string &diff)
+{
+    size_t n = 0;
+    for (char c : diff)
+        if (c == '\n')
+            ++n;
+    return n;
+}
+
+} // namespace
+
+CompareResult
+compareGroups(const std::vector<StatGroup> &before,
+              const std::vector<StatGroup> &after,
+              const CompareOptions &opt)
+{
+    CompareResult res;
+    if (before.size() != after.size()) {
+        res.schema_ok = false;
+        res.error = strprintf(
+            "run counts differ: %zu vs %zu groups",
+            before.size(), after.size());
+    }
+    size_t n = std::min(before.size(), after.size());
+    for (size_t i = 0; i < n; ++i) {
+        const StatGroup &a = before[i];
+        const StatGroup &b = after[i];
+        CompareEntry e;
+        e.label = !b.label().empty() ? b.label() : a.label();
+        e.schema_note = a.schemaDiff(b);
+        if (!e.schema_note.empty()) {
+            res.schema_ok = false;
+            res.entries.push_back(std::move(e));
+            continue;
+        }
+        e.differing = countDiffLines(a.diff(b));
+        const StatEntry *ma = a.find(opt.metric);
+        if (!ma || (ma->kind != StatKind::Counter &&
+                    ma->kind != StatKind::Gauge &&
+                    ma->kind != StatKind::Derived)) {
+            res.schema_ok = false;
+            e.schema_note = strprintf(
+                "no scalar metric '%s'", opt.metric.c_str());
+            res.entries.push_back(std::move(e));
+            continue;
+        }
+        e.before = a.value(opt.metric);
+        e.after = b.value(opt.metric);
+        e.delta = e.after - e.before;
+        e.rel = e.before != 0.0 ? e.delta / e.before : 0.0;
+        e.regressed = opt.lower_is_better
+            ? e.after > e.before * (1.0 + opt.threshold)
+            : e.after < e.before * (1.0 - opt.threshold);
+        res.regressed = res.regressed || e.regressed;
+        res.entries.push_back(std::move(e));
+    }
+    return res;
 }
 
 } // namespace cesp::core

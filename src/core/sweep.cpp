@@ -54,49 +54,69 @@ struct WorkerQueue
     }
 };
 
+/** Internal observation hooks threaded through the worker pool. */
+struct PoolHooks
+{
+    /** Called after a task's stats are final (inside the worker's
+     *  try: a throwing hook aborts the run like a failing task). */
+    std::function<void(size_t, const uarch::SimStats &)> on_done;
+    uint64_t sample_every = 0;
+    std::function<void(size_t, const uarch::StatSnapshot &)>
+        on_snapshot;
+};
+
 void
-runTask(const SweepTask &t, size_t index, uarch::SimStats &out)
+runTask(const SweepTask &t, size_t index, uarch::SimStats &out,
+        const PoolHooks &hooks)
 {
     if (detail::sweep_task_hook)
         detail::sweep_task_hook(index);
     trace::TraceCursor cursor(t.trace);
-    out = uarch::simulate(t.cfg, cursor, UINT64_MAX, t.warmup);
+    uarch::RunLimits limits;
+    limits.warmup = t.warmup;
+    if (hooks.sample_every && hooks.on_snapshot) {
+        limits.sample_every = hooks.sample_every;
+        limits.sampler = [&](const uarch::StatSnapshot &s) {
+            hooks.on_snapshot(index, s);
+        };
+    }
+    out = uarch::simulate(t.cfg, cursor, limits);
 }
 
-} // namespace
-
-namespace detail {
-
-void (*sweep_task_hook)(size_t task_index) = nullptr;
-
-} // namespace detail
-
-unsigned
-defaultJobs()
-{
-    unsigned n = std::thread::hardware_concurrency();
-    return n ? n : 1;
-}
-
-std::vector<uarch::SimStats>
-runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
+/**
+ * The work-stealing pool all run modes share. Results land in
+ * @p results by task index; a null @p results discards each task's
+ * stats after on_done sees them (the streaming O(1)-memory mode).
+ */
+void
+runPool(const std::vector<SweepTask> &tasks, unsigned jobs,
+        std::vector<uarch::SimStats> *results, const PoolHooks &hooks)
 {
     for (const SweepTask &t : tasks) {
         if (!t.trace.records && t.trace.count)
-            panic("runSweep: task with null trace");
+            panic("core::run: task with null trace");
         t.cfg.validate();
     }
 
-    std::vector<uarch::SimStats> results(tasks.size());
+    if (results)
+        results->resize(tasks.size());
     if (jobs == 0)
         jobs = defaultJobs();
     if (jobs > tasks.size())
         jobs = static_cast<unsigned>(tasks.size());
 
+    auto runOne = [&](size_t idx) {
+        uarch::SimStats local;
+        uarch::SimStats &slot = results ? (*results)[idx] : local;
+        runTask(tasks[idx], idx, slot, hooks);
+        if (hooks.on_done)
+            hooks.on_done(idx, slot);
+    };
+
     if (jobs <= 1) {
         for (size_t i = 0; i < tasks.size(); ++i)
-            runTask(tasks[i], i, results[i]);
-        return results;
+            runOne(i);
+        return;
     }
 
     // All work is known up front, so the deques are filled before any
@@ -124,7 +144,7 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
             if (failed.load(std::memory_order_relaxed))
                 return;
             try {
-                runTask(tasks[idx], idx, results[idx]);
+                runOne(idx);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(err_mu);
                 if (!first_error)
@@ -155,7 +175,146 @@ runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
         t.join();
     if (first_error)
         std::rethrow_exception(first_error);
-    return results;
+}
+
+} // namespace
+
+namespace detail {
+
+void (*sweep_task_hook)(size_t task_index) = nullptr;
+
+} // namespace detail
+
+unsigned
+defaultJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+RunResult
+run(const std::vector<SweepTask> &tasks, const RunOptions &opt)
+{
+    RunResult r;
+    const bool sharded = opt.shards > 1 || opt.warmup > 0;
+    PoolHooks hooks;
+    hooks.sample_every = opt.sample_every;
+
+    if (!sharded) {
+        if (opt.on_snapshot)
+            hooks.on_snapshot = [&](size_t task,
+                                    const uarch::StatSnapshot &s) {
+                opt.on_snapshot(task, 0, s);
+            };
+        if (opt.on_result || opt.on_shard)
+            hooks.on_done = [&](size_t task,
+                                const uarch::SimStats &s) {
+                if (opt.on_shard)
+                    opt.on_shard(task, 0, s);
+                if (opt.on_result) {
+                    StatGroup g = s.group();
+                    g.label() = tasks[task].cfg.name;
+                    opt.on_result(task, g);
+                }
+            };
+        runPool(tasks, opt.jobs,
+                opt.collect_results ? &r.stats : nullptr, hooks);
+        if (opt.collect_results) {
+            r.groups.reserve(tasks.size());
+            for (size_t i = 0; i < tasks.size(); ++i) {
+                r.groups.push_back(r.stats[i].group());
+                r.groups.back().label() = tasks[i].cfg.name;
+            }
+        }
+        return r;
+    }
+
+    // Sharded: expand every task via planShards into one flat list so
+    // shards of different tasks load-balance against each other.
+    struct FlatRef
+    {
+        size_t task;
+        size_t shard;
+    };
+    std::vector<SweepTask> flat;
+    std::vector<FlatRef> ref;
+    std::vector<size_t> first(tasks.size() + 1, 0);
+    for (size_t p = 0; p < tasks.size(); ++p) {
+        std::vector<ShardSpec> plan =
+            planShards(tasks[p].trace.count, opt.shards, opt.warmup);
+        for (size_t s = 0; s < plan.size(); ++s) {
+            flat.push_back({tasks[p].cfg,
+                            tasks[p].trace.slice(
+                                plan[s].begin,
+                                plan[s].end - plan[s].begin),
+                            plan[s].warmup});
+            ref.push_back({p, s});
+        }
+        first[p + 1] = flat.size();
+    }
+
+    if (opt.collect_results)
+        r.groups.assign(tasks.size(), StatGroup());
+    // In streaming mode each task's in-flight shard stats live in a
+    // per-task buffer released as soon as the task merges.
+    std::vector<std::vector<uarch::SimStats>> shard_buf;
+    if (!opt.collect_results) {
+        shard_buf.resize(tasks.size());
+        for (size_t p = 0; p < tasks.size(); ++p)
+            shard_buf[p].resize(first[p + 1] - first[p]);
+    }
+    std::vector<std::atomic<size_t>> remaining(tasks.size());
+    for (size_t p = 0; p < tasks.size(); ++p)
+        remaining[p].store(first[p + 1] - first[p],
+                           std::memory_order_relaxed);
+
+    if (opt.on_snapshot)
+        hooks.on_snapshot = [&](size_t flat_idx,
+                                const uarch::StatSnapshot &s) {
+            opt.on_snapshot(ref[flat_idx].task, ref[flat_idx].shard,
+                            s);
+        };
+    hooks.on_done = [&](size_t flat_idx, const uarch::SimStats &s) {
+        const FlatRef &fr = ref[flat_idx];
+        if (opt.on_shard)
+            opt.on_shard(fr.task, fr.shard, s);
+        if (!opt.collect_results)
+            shard_buf[fr.task][fr.shard] = s;
+        // acq_rel: the worker that decrements to zero must observe
+        // every other worker's writes to this task's shard slots.
+        if (remaining[fr.task].fetch_sub(
+                1, std::memory_order_acq_rel) != 1)
+            return;
+        StatGroup g;
+        if (opt.collect_results) {
+            std::vector<uarch::SimStats> slice(
+                r.stats.begin() +
+                    static_cast<ptrdiff_t>(first[fr.task]),
+                r.stats.begin() +
+                    static_cast<ptrdiff_t>(first[fr.task + 1]));
+            g = mergedStats(slice);
+        } else {
+            g = mergedStats(shard_buf[fr.task]);
+            std::vector<uarch::SimStats>().swap(shard_buf[fr.task]);
+        }
+        g.label() = tasks[fr.task].cfg.name;
+        if (opt.on_result)
+            opt.on_result(fr.task, g);
+        if (opt.collect_results)
+            r.groups[fr.task] = std::move(g);
+    };
+
+    runPool(flat, opt.jobs, opt.collect_results ? &r.stats : nullptr,
+            hooks);
+    return r;
+}
+
+std::vector<uarch::SimStats>
+runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
+{
+    RunOptions opt;
+    opt.jobs = jobs;
+    return run(tasks, opt).stats;
 }
 
 StatGroup
@@ -179,7 +338,9 @@ runSweep(const std::vector<uarch::SimConfig> &configs,
     tasks.reserve(configs.size());
     for (const uarch::SimConfig &cfg : configs)
         tasks.push_back({cfg, trace});
-    return runSweep(tasks, jobs);
+    RunOptions opt;
+    opt.jobs = jobs;
+    return run(tasks, opt).stats;
 }
 
 std::vector<ShardSpec>
@@ -214,48 +375,28 @@ ShardedRun
 runSharded(const uarch::SimConfig &cfg, trace::TraceView trace,
            unsigned shards, uint64_t warmup, unsigned jobs)
 {
-    std::vector<ShardSpec> plan =
-        planShards(trace.count, shards, warmup);
-    std::vector<SweepTask> tasks;
-    tasks.reserve(plan.size());
-    for (const ShardSpec &s : plan)
-        tasks.push_back(
-            {cfg, trace.slice(s.begin, s.end - s.begin), s.warmup});
-    ShardedRun run;
-    run.shards = runSweep(tasks, jobs);
-    run.merged = mergedStats(run.shards);
-    return run;
+    RunOptions opt;
+    opt.jobs = jobs;
+    opt.shards = shards;
+    opt.warmup = warmup;
+    RunResult r = run({{cfg, trace}}, opt);
+    ShardedRun sharded;
+    sharded.shards = std::move(r.stats);
+    // Keep the historical aggregate label ("merged over N runs")
+    // rather than the task-labelled group core::run builds.
+    sharded.merged = mergedStats(sharded.shards);
+    return sharded;
 }
 
 std::vector<StatGroup>
 runShardedBatch(const std::vector<SweepTask> &pairs, unsigned shards,
                 uint64_t warmup, unsigned jobs)
 {
-    std::vector<SweepTask> tasks;
-    std::vector<size_t> first(pairs.size() + 1, 0);
-    for (size_t p = 0; p < pairs.size(); ++p) {
-        for (const ShardSpec &s :
-             planShards(pairs[p].trace.count, shards, warmup))
-            tasks.push_back({pairs[p].cfg,
-                             pairs[p].trace.slice(s.begin,
-                                                  s.end - s.begin),
-                             s.warmup});
-        first[p + 1] = tasks.size();
-    }
-
-    std::vector<uarch::SimStats> stats = runSweep(tasks, jobs);
-
-    std::vector<StatGroup> merged;
-    merged.reserve(pairs.size());
-    for (size_t p = 0; p < pairs.size(); ++p) {
-        std::vector<uarch::SimStats> slice(
-            stats.begin() + static_cast<ptrdiff_t>(first[p]),
-            stats.begin() + static_cast<ptrdiff_t>(first[p + 1]));
-        StatGroup g = mergedStats(slice);
-        g.label() = pairs[p].cfg.name;
-        merged.push_back(std::move(g));
-    }
-    return merged;
+    RunOptions opt;
+    opt.jobs = jobs;
+    opt.shards = shards;
+    opt.warmup = warmup;
+    return run(pairs, opt).groups;
 }
 
 } // namespace cesp::core

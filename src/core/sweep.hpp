@@ -20,6 +20,7 @@
 #ifndef CESP_CORE_SWEEP_HPP
 #define CESP_CORE_SWEEP_HPP
 
+#include <functional>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -47,22 +48,100 @@ struct SweepTask
 unsigned defaultJobs();
 
 /**
- * Simulate every task and return the statistics in task order.
- * Tasks are distributed round-robin over per-worker deques; a worker
- * that drains its own deque steals from the back of its neighbors',
- * so uneven task lengths (a 16-way machine next to a 2-way one)
- * still load-balance. jobs == 0 means defaultJobs(), jobs == 1 runs
- * inline on the calling thread.
+ * Options for core::run, the single entrypoint that replaced the
+ * runSweep / runSharded / runShardedBatch trio. Defaults reproduce a
+ * plain parallel sweep; shards/warmup select sharded execution, and
+ * the callbacks stream results out as workers finish.
+ */
+struct RunOptions
+{
+    /** Worker threads; 0 = defaultJobs(), 1 = inline on the caller. */
+    unsigned jobs = 0;
+    /** Split every task's trace into this many contiguous measured
+     *  windows (see planShards). Values <= 1 combined with warmup ==
+     *  0 run each task monolithically. */
+    unsigned shards = 1;
+    /** Per-shard state-warming prefix, in trace records. Applies
+     *  only to sharded execution (shards > 1 or warmup > 0), where it
+     *  overrides any SweepTask::warmup, matching the old
+     *  runShardedBatch contract. Unsharded runs honour the per-task
+     *  warmup instead. */
+    uint64_t warmup = 0;
+    /** Emit a StatSnapshot every this-many measured commits of each
+     *  simulation (0 = off; requires on_snapshot). */
+    uint64_t sample_every = 0;
+
+    // Completion callbacks. All of them run on whichever worker
+    // thread finished the work (or on the caller when jobs <= 1), in
+    // completion order, and therefore must be thread-safe; the
+    // task/shard indices carried by each call — not arrival order —
+    // identify the result. A callback that throws aborts the run
+    // like a simulation failure: first exception wins, the pool
+    // drains, and core::run rethrows on the caller.
+
+    /** One task finished: its merged (sharded) or whole-run group,
+     *  labelled with the task's configuration name. */
+    std::function<void(size_t task, const StatGroup &stats)> on_result;
+    /** One simulation finished: the task's only run (shard == 0 when
+     *  unsharded) or one measured shard window. */
+    std::function<void(size_t task, size_t shard,
+                       const uarch::SimStats &stats)>
+        on_shard;
+    /** One interval snapshot (see uarch::StatSnapshot). */
+    std::function<void(size_t task, size_t shard,
+                       const uarch::StatSnapshot &snap)>
+        on_snapshot;
+
+    /** When false, RunResult comes back empty and results exist only
+     *  as callback invocations — the O(1)-memory mode that lets a
+     *  million-point sweep stream to disk. (Sharded runs still
+     *  buffer each task's in-flight shard stats until the task
+     *  completes.) */
+    bool collect_results = true;
+};
+
+/** What core::run produced (empty when !RunOptions::collect_results). */
+struct RunResult
+{
+    /** Every simulation in plan order: one entry per task when
+     *  unsharded, the flattened task-major shard windows when
+     *  sharded. */
+    std::vector<uarch::SimStats> stats;
+    /** One group per task, in task order, labelled with the task's
+     *  configuration name: the run's own stats, or the mergedStats
+     *  of its shards. */
+    std::vector<StatGroup> groups;
+};
+
+/**
+ * Simulate every task and return the statistics in task order — the
+ * one run entrypoint. Tasks are distributed round-robin over
+ * per-worker deques; a worker that drains its own deque steals from
+ * the back of its neighbors', so uneven task lengths (a 16-way
+ * machine next to a 2-way one) still load-balance. Results are
+ * deterministic (bit-identical) for any jobs count.
  *
- * If a simulation throws, the first exception (in discovery order)
- * is captured, the remaining tasks are drained without running, all
+ * With shards > 1 or warmup > 0, every task's trace is split via
+ * planShards and the whole expansion runs as one flat task list on
+ * the pool (shards of different tasks load-balance against each
+ * other), then merges per task — see ShardedRun for the measurement
+ * contract.
+ *
+ * If a simulation (or callback) throws, the first exception is
+ * captured, the remaining tasks are drained without running, all
  * workers join, and the exception is rethrown on the calling thread
  * — a worker-side throw never reaches std::terminate.
  */
+RunResult run(const std::vector<SweepTask> &tasks,
+              const RunOptions &options = {});
+
+/** @deprecated Thin wrapper over core::run; use it directly. */
+[[deprecated("use core::run(tasks, RunOptions)")]]
 std::vector<uarch::SimStats> runSweep(const std::vector<SweepTask> &tasks,
                                       unsigned jobs = 0);
 
-/** Convenience: every configuration over one shared trace. */
+/** @deprecated Thin wrapper over core::run; use it directly. */
+[[deprecated("use core::run(tasks, RunOptions)")]]
 std::vector<uarch::SimStats>
 runSweep(const std::vector<uarch::SimConfig> &configs,
          trace::TraceView trace, unsigned jobs = 0);
@@ -137,19 +216,24 @@ struct ShardedRun
  * With shards == 1 and warmup == 0 the single shard is the whole
  * trace and its stats are bit-identical (StatGroup::sameValues) to a
  * monolithic uarch::simulate of the same pair.
+ *
+ * @deprecated Thin wrapper over core::run; use it directly.
  */
+[[deprecated("use core::run(tasks, RunOptions{.shards=, .warmup=})")]]
 ShardedRun runSharded(const uarch::SimConfig &cfg,
                       trace::TraceView trace, unsigned shards,
                       uint64_t warmup, unsigned jobs = 0);
 
 /**
  * Shard every (configuration, trace) pair of @p pairs K ways and run
- * the whole expansion as one flat task list on the pool (so shards
- * of different pairs load-balance against each other), then merge
+ * the whole expansion as one flat task list on the pool, then merge
  * per pair. Returns one merged StatGroup per input pair, in order,
  * labelled with the pair's configuration name. Any warmup already on
  * a pair is ignored; @p warmup applies to every shard.
+ *
+ * @deprecated Thin wrapper over core::run; use it directly.
  */
+[[deprecated("use core::run(tasks, RunOptions{.shards=, .warmup=})")]]
 std::vector<StatGroup>
 runShardedBatch(const std::vector<SweepTask> &pairs, unsigned shards,
                 uint64_t warmup, unsigned jobs = 0);

@@ -63,9 +63,13 @@ SimStats::SimStats(int num_clusters)
         group_.addCounter(
             strprintf("issued_cluster%d", c), "instructions",
             strprintf("Instructions issued on cluster %d", c));
+    // Growable: sized by the largest occupancy actually seen, so a
+    // 2x4 FIFO machine exports ~9 buckets while a 128-entry window
+    // machine grows to ~129 — no per-organization sizing constant.
     group_.addHistogram("buffer_occupancy", "entries",
                         "Per-cycle occupancy of the issue buffering "
-                        "(window/FIFOs)", 160, 1.0);
+                        "(window/FIFOs)", 32, 1.0,
+                        /*growable=*/true);
     group_.addHistogram("issue_sizes", "instructions",
                         "Instructions issued per cycle", 17, 1.0);
     group_.addDerived("ipc", "inst/cycle",
@@ -673,6 +677,11 @@ Pipeline::doCommit()
         if (warmup_pending_ &&
             stats_.committed() == warmup_target_)
             beginMeasurement();
+        // Sampling covers the measured region only; warmup-phase
+        // commits tick toward the boundary, not toward a snapshot.
+        if (sample_every_ && !warmup_pending_ &&
+            stats_.committed() == next_sample_)
+            emitSnapshot();
     }
 }
 
@@ -688,6 +697,39 @@ Pipeline::beginMeasurement()
         l2_miss_base_ = l2_->misses();
     }
     stats_.group().reset();
+    next_sample_ = sample_every_;
+    sample_index_ = 0;
+    have_sample_prev_ = false;
+}
+
+void
+Pipeline::emitSnapshot()
+{
+    // Copy the stats and apply the same cycle/cache rebasing the end
+    // of run() performs, so each snapshot is a self-consistent
+    // mid-run view of the measured region. The live registry is
+    // never written: final stats are bit-identical with sampling on
+    // or off.
+    SimStats s = stats_;
+    s.cycles() = now_ - measure_start_cycle_;
+    s.dcache_accesses() = dcache_.accesses() - dcache_acc_base_;
+    s.dcache_misses() = dcache_.misses() - dcache_miss_base_;
+    if (l2_) {
+        s.l2_accesses() = l2_->accesses() - l2_acc_base_;
+        s.l2_misses() = l2_->misses() - l2_miss_base_;
+    }
+    StatSnapshot snap;
+    snap.index = sample_index_++;
+    snap.committed = s.committed();
+    snap.cycles = s.cycles();
+    snap.cumulative = s.group();
+    snap.delta = have_sample_prev_
+        ? snap.cumulative.deltaSince(sample_prev_)
+        : snap.cumulative;
+    sample_prev_ = snap.cumulative;
+    have_sample_prev_ = true;
+    next_sample_ += sample_every_;
+    sampler_(snap);
 }
 
 void
@@ -839,13 +881,16 @@ Pipeline::doFetch()
 }
 
 SimStats
-Pipeline::run(uint64_t max_instructions, uint64_t warmup_instructions)
+Pipeline::run(const RunLimits &limits)
 {
     if (now_ != 0)
         panic("Pipeline::run is single-use; construct a new Pipeline");
     src_.rewind();
-    warmup_target_ = warmup_instructions;
-    warmup_pending_ = warmup_instructions > 0;
+    warmup_target_ = limits.warmup;
+    warmup_pending_ = limits.warmup > 0;
+    sampler_ = limits.sampler;
+    sample_every_ = sampler_ ? limits.sample_every : 0;
+    next_sample_ = sample_every_;
 
     uint64_t last_progress_cycle = 0;
     uint64_t last_committed = 0;
@@ -855,7 +900,7 @@ Pipeline::run(uint64_t max_instructions, uint64_t warmup_instructions)
         doCommit();
         doIssue();
         doDispatch();
-        if (fetched_total_ >= max_instructions)
+        if (fetched_total_ >= limits.max_instructions)
             trace_done_ = true;
         doFetch();
         ++now_;
@@ -888,11 +933,30 @@ Pipeline::run(uint64_t max_instructions, uint64_t warmup_instructions)
 }
 
 SimStats
+Pipeline::run(uint64_t max_instructions, uint64_t warmup_instructions)
+{
+    RunLimits limits;
+    limits.max_instructions = max_instructions;
+    limits.warmup = warmup_instructions;
+    return run(limits);
+}
+
+SimStats
 simulate(const SimConfig &cfg, trace::TraceSource &src,
          uint64_t max_instructions, uint64_t warmup_instructions)
 {
+    RunLimits limits;
+    limits.max_instructions = max_instructions;
+    limits.warmup = warmup_instructions;
+    return simulate(cfg, src, limits);
+}
+
+SimStats
+simulate(const SimConfig &cfg, trace::TraceSource &src,
+         const RunLimits &limits)
+{
     Pipeline p(cfg, src);
-    return p.run(max_instructions, warmup_instructions);
+    return p.run(limits);
 }
 
 } // namespace cesp::uarch

@@ -293,6 +293,69 @@ class SimStats
     StatGroup group_;
 };
 
+/**
+ * One point of the statistics time series emitted by interval
+ * sampling (RunLimits::sample_every): the registry state after every
+ * N measured commits, both cumulative and as the change since the
+ * previous snapshot.
+ */
+struct StatSnapshot
+{
+    uint64_t index = 0;     //!< 0-based interval number
+    uint64_t committed = 0; //!< measured commits so far (cumulative)
+    uint64_t cycles = 0;    //!< measured cycles so far (cumulative)
+    /** Registry totals since the measurement boundary, with cycle
+     *  and cache counters rebased exactly as at end of run. */
+    StatGroup cumulative;
+    /** cumulative.deltaSince(previous snapshot); equals cumulative
+     *  for the first interval. Sample min/max stay cumulative (see
+     *  StatGroup::deltaSince). */
+    StatGroup delta;
+};
+
+/**
+ * Limits and observation hooks for one Pipeline::run. Replaces the
+ * old positional (max_instructions, warmup_instructions) signature
+ * so new knobs — like the sampler — compose without argument-order
+ * traps.
+ */
+struct RunLimits
+{
+    /** Stop fetching after this many instructions (warmup included). */
+    uint64_t max_instructions = UINT64_MAX;
+    /**
+     * Discard the measurement prefix: the machine state (branch
+     * predictor, caches, rename map, in-flight instructions) warms
+     * up normally, but when the warmup-th instruction commits the
+     * statistics registry is reset (StatGroup::reset()) and
+     * cycle/cache accounting rebases, so the returned stats cover
+     * only the instructions committed after the boundary. This is
+     * the measurement contract trace sharding depends on
+     * (core::run with shards): a shard simulates its warmup prefix
+     * for state only and reports its measured window. With warmup 0
+     * the behaviour (and every stat bit) is unchanged. If the run
+     * drains before the warmup target commits, the measured region
+     * is empty and every counter is zero.
+     *
+     * A measured window needs no cooldown suffix: commit is
+     * in-order, so an instruction's commit cycle depends only on
+     * itself and older instructions — appending records after the
+     * window cannot change its cycle count (verified empirically
+     * while tuning the sharded convergence suite). The only sharding
+     * bias is cold machine state, which the warmup prefix addresses.
+     */
+    uint64_t warmup = 0;
+    /** When > 0 (and a sampler is set), invoke the sampler with a
+     *  StatSnapshot every this-many measured commits. Sampling only
+     *  reads simulator state: final stats are bit-identical with
+     *  sampling on or off. No snapshot is emitted for a trailing
+     *  partial interval — the end-of-run stats cover it. */
+    uint64_t sample_every = 0;
+    /** Snapshot consumer; called synchronously on the simulating
+     *  thread. */
+    std::function<void(const StatSnapshot &)> sampler;
+};
+
 /** The timing simulator. */
 class Pipeline
 {
@@ -304,33 +367,15 @@ class Pipeline
     Pipeline(const SimConfig &cfg, trace::TraceSource &src);
 
     /**
-     * Simulate until the trace ends (or @p max_instructions have been
-     * fetched) and the machine drains. Returns the statistics.
-     *
-     * @p warmup_instructions discards the measurement prefix: the
-     * machine state (branch predictor, caches, rename map, in-flight
-     * instructions) warms up normally, but when the warmup-th
-     * instruction commits the statistics registry is reset
-     * (StatGroup::reset()) and cycle/cache accounting rebases, so the
-     * returned stats cover only the instructions committed after the
-     * boundary. This is the measurement contract trace sharding
-     * depends on (core::runSharded): a shard simulates its warmup
-     * prefix for state only and reports its measured window. With
-     * warmup 0 the behaviour (and every stat bit) is unchanged. If
-     * the run drains before the warmup target commits, the measured
-     * region is empty and every counter is zero.
-     *
-     * @p max_instructions counts all fetched instructions, warmup
-     * included.
-     *
-     * Note that a measured window needs no cooldown suffix: commit
-     * is in-order, so an instruction's commit cycle depends only on
-     * itself and older instructions — appending records after the
-     * window cannot change its cycle count (verified empirically
-     * while tuning the sharded convergence suite). The only sharding
-     * bias is cold machine state, which the warmup prefix addresses.
+     * Simulate until the trace ends (or limits.max_instructions have
+     * been fetched) and the machine drains. Returns the statistics;
+     * see RunLimits for the warmup and sampling contracts.
      */
-    SimStats run(uint64_t max_instructions = UINT64_MAX,
+    SimStats run(const RunLimits &limits);
+    /** Run to completion with default limits. */
+    SimStats run() { return run(RunLimits{}); }
+    [[deprecated("use run(const RunLimits&)")]]
+    SimStats run(uint64_t max_instructions,
                  uint64_t warmup_instructions = 0);
 
     const SimConfig &config() const { return cfg_; }
@@ -407,6 +452,10 @@ class Pipeline
      *  rebase cycle and cache accounting at the current commit. */
     void beginMeasurement();
 
+    /** Emit one interval snapshot (cumulative + delta) to the
+     *  sampler. Reads state only; never perturbs the simulation. */
+    void emitSnapshot();
+
     DynInst &rob(uint64_t seq);
     const DynInst &rob(uint64_t seq) const;
     size_t robSize() const { return rob_tail_ - rob_head_; }
@@ -443,6 +492,16 @@ class Pipeline
     uint64_t dcache_acc_base_ = 0, dcache_miss_base_ = 0;
     uint64_t l2_acc_base_ = 0, l2_miss_base_ = 0;
 
+    // Interval sampling (see RunLimits). next_sample_ is the measured
+    // commit count that triggers the next snapshot; the boundary
+    // reset restarts the series.
+    uint64_t sample_every_ = 0;
+    uint64_t next_sample_ = 0;
+    uint64_t sample_index_ = 0;
+    bool have_sample_prev_ = false;
+    StatGroup sample_prev_;
+    std::function<void(const StatSnapshot &)> sampler_;
+
     uint64_t now_ = 0;
     uint64_t fetch_resume_ = 0;      //!< fetch stalled until this cycle
     uint64_t blocking_branch_ = kNoSeq; //!< unresolved mispredict
@@ -473,6 +532,10 @@ class Pipeline
 SimStats simulate(const SimConfig &cfg, trace::TraceSource &src,
                   uint64_t max_instructions = UINT64_MAX,
                   uint64_t warmup_instructions = 0);
+
+/** Convenience: build, run with @p limits, and return statistics. */
+SimStats simulate(const SimConfig &cfg, trace::TraceSource &src,
+                  const RunLimits &limits);
 
 } // namespace cesp::uarch
 

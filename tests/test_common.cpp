@@ -169,6 +169,90 @@ TEST(HistogramDeath, MergeOfMismatchedShapesIsFatalWithDiagnostic)
     EXPECT_DEATH(a.merge(wrong_width), "shape mismatch");
 }
 
+TEST(Histogram, GrowableGrowsToTheLargestSampleSeen)
+{
+    Histogram h(3, 1.0, /*growable=*/true);
+    h.add(0.5);
+    h.add(10.5); // beyond the initial 3 buckets: grows, not overflow
+    EXPECT_EQ(h.buckets(), 11u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    h.add(-1.0); // underflow still underflows
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.inRange(), 2u);
+    h.reset(); // reset shrinks back to the configured base shape
+    EXPECT_EQ(h.buckets(), 3u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, MergeOfDifferentlyGrownHistogramsIsExact)
+{
+    Histogram a(3, 1.0, true);
+    a.add(0.5);
+    a.add(20.5); // a grows to 21 buckets
+    Histogram b(3, 1.0, true);
+    b.add(0.5);
+    b.add(5.5); // b grows to 6 buckets
+    a.merge(b);
+    EXPECT_EQ(a.buckets(), 21u);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.bucket(0), 2u);
+    EXPECT_EQ(a.bucket(5), 1u);
+    EXPECT_EQ(a.bucket(20), 1u);
+    // The small-into-large direction grows the destination.
+    Histogram c(3, 1.0, true);
+    c.add(0.5);
+    c.merge(a);
+    EXPECT_EQ(c.buckets(), 21u);
+    EXPECT_EQ(c.bucket(0), 3u);
+}
+
+TEST(Histogram, EqualityTreatsMissingTrailingBucketsAsZero)
+{
+    Histogram grown(3, 1.0, true);
+    grown.add(0.5);
+    grown.add(9.5);
+    Histogram compact(3, 1.0, true);
+    compact.add(0.5);
+    EXPECT_FALSE(grown == compact);
+    compact.add(9.5);
+    EXPECT_TRUE(grown == compact);
+    // Same logical content at different physical sizes: restore a
+    // copy with the trailing zeros dropped.
+    Histogram trimmed(3, 1.0, true);
+    trimmed.restore({1, 0, 0, 0, 0, 0, 0, 0, 0, 1}, 0, 0);
+    EXPECT_TRUE(grown == trimmed);
+}
+
+TEST(Histogram, SubtractLeavesTheSamplesSinceTheSnapshot)
+{
+    Histogram h(3, 1.0, true);
+    h.add(0.5);
+    h.add(4.5);
+    Histogram snap = h; // snapshot, then keep sampling
+    h.add(0.5);
+    h.add(12.5);
+    h.add(-1.0);
+    h.subtract(snap);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(4), 0u);
+    EXPECT_EQ(h.bucket(12), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(HistogramDeath, MergeOfMixedGrowabilityIsFatal)
+{
+    // A growable and a fixed histogram of the same shape are NOT
+    // mergeable: their overflow semantics differ, so the merge would
+    // not be exact.
+    Histogram fixed(3, 1.0);
+    Histogram growable(3, 1.0, true);
+    EXPECT_DEATH(fixed.merge(growable), "");
+    EXPECT_DEATH(growable.merge(fixed), "");
+}
+
 TEST(Sample, MergeCombinesExtremes)
 {
     Sample a;

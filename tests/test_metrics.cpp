@@ -271,6 +271,59 @@ TEST(StatGroup, SchemaDiffNamesTheFirstDifferingEntry)
     EXPECT_NE(hd.find("histogram shape"), std::string::npos);
 }
 
+TEST(StatGroup, GrowableHistogramRoundTripsAndMergesAcrossSizes)
+{
+    // Two groups whose growable histogram grew differently: still one
+    // schema (bucket counts are a value difference for growable), the
+    // export carries the "growable" flag, and a merge is exact.
+    auto makeGroup = [](double big_sample) {
+        StatGroup g("demo", "cfg-a");
+        g.addHistogram("occ", "entries", "occupancy", 4, 1.0,
+                       /*growable=*/true);
+        g.histogramAt(g.find("occ")->store).add(0.5);
+        g.histogramAt(g.find("occ")->store).add(big_sample);
+        return g;
+    };
+    StatGroup small = makeGroup(6.5);  // grew to 7 buckets
+    StatGroup large = makeGroup(40.5); // grew to 41 buckets
+
+    EXPECT_EQ(small.schemaDiff(large), "");
+
+    std::string doc = large.toJson();
+    EXPECT_NE(doc.find("\"growable\": true"), std::string::npos);
+    StatGroup back;
+    std::string err;
+    ASSERT_TRUE(StatGroup::fromJson(doc, back, &err)) << err;
+    EXPECT_TRUE(large.sameValues(back)) << large.diff(back);
+    EXPECT_TRUE(
+        back.histogramAt(back.find("occ")->store).growable());
+
+    StatGroup merged = small;
+    merged.merge(large);
+    const Histogram &h = merged.histogramAt(merged.find("occ")->store);
+    EXPECT_EQ(h.buckets(), 41u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(6), 1u);
+    EXPECT_EQ(h.bucket(40), 1u);
+
+    // deltaSince across growth: the delta holds only the new samples.
+    StatGroup now = small;
+    now.histogramAt(now.find("occ")->store).add(99.5);
+    StatGroup delta = now.deltaSince(small);
+    const Histogram &d = delta.histogramAt(delta.find("occ")->store);
+    EXPECT_EQ(d.total(), 1u);
+    EXPECT_EQ(d.bucket(99), 1u);
+    EXPECT_EQ(d.bucket(0), 0u);
+
+    // A growable histogram against a fixed one of the same shape is
+    // still a schema mismatch.
+    StatGroup fixed("demo", "cfg-a");
+    fixed.addHistogram("occ", "entries", "occupancy", 4, 1.0);
+    EXPECT_NE(small.schemaDiff(fixed).find("growable"),
+              std::string::npos);
+}
+
 /**
  * Merging mismatched registries must fail loudly and say which entry
  * broke — a sharded or swept merge over runs from different machine
@@ -317,7 +370,9 @@ TEST(StatGroup, SweepMergeEqualsSerialAccumulation)
         tasks.push_back({core::clusteredDependence2x4(),
                          i % 2 ? miss : buf});
 
-    std::vector<SimStats> serial = core::runSweep(tasks, 1);
+    core::RunOptions ropt;
+    ropt.jobs = 1;
+    std::vector<SimStats> serial = core::run(tasks, ropt).stats;
     StatGroup reference = core::mergedStats(serial);
 
     // Hand accumulation of a few counters checks mergedStats itself.
@@ -334,7 +389,8 @@ TEST(StatGroup, SweepMergeEqualsSerialAccumulation)
     EXPECT_EQ(reference.histogramAt(h->store).total(), hist_total);
 
     for (unsigned jobs : {2u, 4u}) {
-        std::vector<SimStats> par = core::runSweep(tasks, jobs);
+        ropt.jobs = jobs;
+        std::vector<SimStats> par = core::run(tasks, ropt).stats;
         StatGroup merged = core::mergedStats(par);
         EXPECT_TRUE(merged.sameValues(reference))
             << jobs << " workers\n" << merged.diff(reference);

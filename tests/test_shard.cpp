@@ -7,9 +7,9 @@
  * property that makes sharding useful — K-shard merged IPC
  * approaches the monolithic IPC as the warmup prefix grows.
  *
- * This suite carries the "tsan" ctest label: runSharded fans shard
- * simulations out over the work-stealing pool, so the preset re-runs
- * it under race detection.
+ * This suite carries the "tsan" ctest label: sharded core::run fans
+ * shard simulations out over the work-stealing pool, so the preset
+ * re-runs it under race detection.
  */
 
 #include <gtest/gtest.h>
@@ -42,7 +42,22 @@ monolithic(const uarch::SimConfig &cfg, trace::TraceView tv,
            uint64_t warmup = 0)
 {
     trace::TraceCursor cur(tv);
-    return uarch::simulate(cfg, cur, UINT64_MAX, warmup);
+    uarch::RunLimits lim;
+    lim.warmup = warmup;
+    return uarch::simulate(cfg, cur, lim);
+}
+
+/** One (cfg, trace) pair sharded K ways through core::run: stats
+ *  holds the per-shard windows in plan order, groups[0] their merge. */
+core::RunResult
+sharded(const uarch::SimConfig &cfg, trace::TraceView tv, unsigned k,
+        uint64_t warmup, unsigned jobs)
+{
+    core::RunOptions opt;
+    opt.jobs = jobs;
+    opt.shards = k;
+    opt.warmup = warmup;
+    return core::run({{cfg, tv}}, opt);
 }
 
 /** Assert the plan's measured windows partition [0, count). */
@@ -202,7 +217,7 @@ TEST(Warmup, TargetBeyondTraceYieldsEmptyMeasurement)
 }
 
 // ---------------------------------------------------------------------
-// runSharded
+// Sharded core::run
 
 TEST(Sharded, OneShardNoWarmupEqualsMonolithic)
 {
@@ -210,16 +225,16 @@ TEST(Sharded, OneShardNoWarmupEqualsMonolithic)
     for (const uarch::SimConfig &cfg :
          {core::baseline8Way(), core::dependence8x8(),
           core::clusteredDependence2x4()}) {
-        core::ShardedRun run = core::runSharded(cfg, buf, 1, 0, 1);
-        ASSERT_EQ(run.shards.size(), 1u);
+        core::RunResult run = sharded(cfg, buf, 1, 0, 1);
+        ASSERT_EQ(run.stats.size(), 1u);
         SimStats direct = monolithic(cfg, buf);
         // Bit-identity of the acceptance contract: sameValues spans
         // every counter, sample, and histogram bucket.
         EXPECT_TRUE(
-            run.shards[0].group().sameValues(direct.group()))
+            run.stats[0].group().sameValues(direct.group()))
             << cfg.name << ":\n"
-            << run.shards[0].group().diff(direct.group());
-        EXPECT_TRUE(run.merged.sameValues(direct.group()))
+            << run.stats[0].group().diff(direct.group());
+        EXPECT_TRUE(run.groups[0].sameValues(direct.group()))
             << cfg.name;
     }
 }
@@ -229,12 +244,12 @@ TEST(Sharded, MergedCommitCountIsExactForAnyShardingAndWarmup)
     trace::TraceBuffer buf = synthetic(32, 9001);
     for (unsigned k : {2u, 5u, 8u}) {
         for (uint64_t w : {0u, 100u, 5000u}) {
-            core::ShardedRun run =
-                core::runSharded(core::baseline8Way(), buf, k, w, 2);
-            ASSERT_EQ(run.shards.size(), k);
+            core::RunResult run =
+                sharded(core::baseline8Way(), buf, k, w, 2);
+            ASSERT_EQ(run.stats.size(), k);
             // Measured windows partition the trace, so the merged
             // commit count is the whole trace regardless of K and W.
-            EXPECT_EQ(run.merged.counter("committed"), 9001u)
+            EXPECT_EQ(run.groups[0].counter("committed"), 9001u)
                 << "K=" << k << " W=" << w;
         }
     }
@@ -243,18 +258,17 @@ TEST(Sharded, MergedCommitCountIsExactForAnyShardingAndWarmup)
 TEST(Sharded, DeterministicAcrossWorkerCounts)
 {
     trace::TraceBuffer buf = synthetic(33, 12000);
-    core::ShardedRun one =
-        core::runSharded(core::dependence8x8(), buf, 6, 500, 1);
+    core::RunResult one =
+        sharded(core::dependence8x8(), buf, 6, 500, 1);
     for (unsigned jobs : {2u, 4u}) {
-        core::ShardedRun par =
-            core::runSharded(core::dependence8x8(), buf, 6, 500,
-                             jobs);
-        ASSERT_EQ(par.shards.size(), one.shards.size());
-        for (size_t i = 0; i < one.shards.size(); ++i)
-            EXPECT_TRUE(par.shards[i].group().sameValues(
-                one.shards[i].group()))
+        core::RunResult par =
+            sharded(core::dependence8x8(), buf, 6, 500, jobs);
+        ASSERT_EQ(par.stats.size(), one.stats.size());
+        for (size_t i = 0; i < one.stats.size(); ++i)
+            EXPECT_TRUE(par.stats[i].group().sameValues(
+                one.stats[i].group()))
                 << "shard " << i << " with " << jobs << " workers";
-        EXPECT_TRUE(par.merged.sameValues(one.merged));
+        EXPECT_TRUE(par.groups[0].sameValues(one.groups[0]));
     }
 }
 
@@ -266,25 +280,28 @@ TEST(Sharded, BatchMatchesIndividualRuns)
         {core::baseline8Way(), a},
         {core::dependence8x8(), b},
     };
+    core::RunOptions opt;
+    opt.jobs = 2;
+    opt.shards = 4;
+    opt.warmup = 200;
     std::vector<StatGroup> merged =
-        core::runShardedBatch(pairs, 4, 200, 2);
+        std::move(core::run(pairs, opt).groups);
     ASSERT_EQ(merged.size(), 2u);
     EXPECT_EQ(merged[0].label(), core::baseline8Way().name);
     EXPECT_EQ(merged[1].label(), core::dependence8x8().name);
     for (size_t p = 0; p < pairs.size(); ++p) {
-        core::ShardedRun solo = core::runSharded(
-            pairs[p].cfg, pairs[p].trace, 4, 200, 1);
-        solo.merged.label() = merged[p].label();
-        EXPECT_TRUE(merged[p].sameValues(solo.merged)) << p;
+        core::RunResult solo =
+            sharded(pairs[p].cfg, pairs[p].trace, 4, 200, 1);
+        EXPECT_TRUE(merged[p].sameValues(solo.groups[0])) << p;
     }
 }
 
 TEST(Sharded, EmptyTraceYieldsZeroStats)
 {
-    core::ShardedRun run = core::runSharded(
+    core::RunResult run = sharded(
         core::baseline8Way(), trace::TraceView(), 8, 1000, 2);
-    ASSERT_EQ(run.shards.size(), 1u);
-    EXPECT_EQ(run.merged.counter("committed"), 0u);
+    ASSERT_EQ(run.stats.size(), 1u);
+    EXPECT_EQ(run.groups[0].counter("committed"), 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -305,11 +322,11 @@ TEST(ShardedConvergence, WarmupBoundsIpcError)
     // warmup sized for that, not just for the branch predictor.
     for (unsigned k : {2u, 4u, 8u}) {
         double cold = std::fabs(
-            core::runSharded(cfg, buf, k, 0, 2)
-                .merged.value("ipc") - mono) / mono;
+            sharded(cfg, buf, k, 0, 2)
+                .groups[0].value("ipc") - mono) / mono;
         double warm = std::fabs(
-            core::runSharded(cfg, buf, k, 20000, 2)
-                .merged.value("ipc") - mono) / mono;
+            sharded(cfg, buf, k, 20000, 2)
+                .groups[0].value("ipc") - mono) / mono;
         // 2% is the acceptance tolerance for the bundled workloads.
         EXPECT_LT(warm, 0.02) << "K=" << k;
         // Warming up must improve on cold sharding outright (the

@@ -46,6 +46,27 @@ mixedTasks(const trace::TraceBuffer &a, const trace::TraceBuffer &b)
     return tasks;
 }
 
+/** Plain parallel sweep through the core::run entrypoint. */
+std::vector<SimStats>
+sweep(const std::vector<SweepTask> &tasks, unsigned jobs)
+{
+    core::RunOptions opt;
+    opt.jobs = jobs;
+    return core::run(tasks, opt).stats;
+}
+
+/** Every config over one shared trace, like the old runSweep
+ *  convenience overload. */
+std::vector<SimStats>
+sweep(const std::vector<uarch::SimConfig> &configs,
+      const trace::TraceBuffer &buf, unsigned jobs)
+{
+    std::vector<SweepTask> tasks;
+    for (const uarch::SimConfig &cfg : configs)
+        tasks.push_back({cfg, buf});
+    return sweep(tasks, jobs);
+}
+
 } // namespace
 
 TEST(Sweep, IdenticalResultsForAnyThreadCount)
@@ -59,11 +80,11 @@ TEST(Sweep, IdenticalResultsForAnyThreadCount)
     trace::TraceBuffer b = trace::generateSynthetic(pb, 15000);
 
     std::vector<SweepTask> tasks = mixedTasks(a, b);
-    std::vector<SimStats> serial = core::runSweep(tasks, 1);
+    std::vector<SimStats> serial = sweep(tasks, 1);
     ASSERT_EQ(serial.size(), tasks.size());
 
     for (unsigned jobs : {2u, 4u, 7u}) {
-        std::vector<SimStats> par = core::runSweep(tasks, jobs);
+        std::vector<SimStats> par = sweep(tasks, jobs);
         ASSERT_EQ(par.size(), serial.size());
         for (size_t i = 0; i < serial.size(); ++i)
             EXPECT_EQ(fingerprint(par[i]), fingerprint(serial[i]))
@@ -80,7 +101,7 @@ TEST(Sweep, MatchesDirectSimulation)
     std::vector<uarch::SimConfig> configs = {
         core::baseline8Way(), core::dependence8x8(),
         core::clusteredDependence2x4()};
-    std::vector<SimStats> swept = core::runSweep(configs, buf, 3);
+    std::vector<SimStats> swept = sweep(configs, buf, 3);
 
     ASSERT_EQ(swept.size(), configs.size());
     for (size_t i = 0; i < configs.size(); ++i) {
@@ -119,8 +140,8 @@ TEST(Sweep, MoreJobsThanTasks)
 
     std::vector<uarch::SimConfig> configs = {core::baseline8Way(),
                                              core::dependence8x8()};
-    std::vector<SimStats> few = core::runSweep(configs, buf, 16);
-    std::vector<SimStats> one = core::runSweep(configs, buf, 1);
+    std::vector<SimStats> few = sweep(configs, buf, 16);
+    std::vector<SimStats> one = sweep(configs, buf, 1);
     ASSERT_EQ(few.size(), 2u);
     for (size_t i = 0; i < few.size(); ++i)
         EXPECT_EQ(fingerprint(few[i]), fingerprint(one[i]));
@@ -129,7 +150,7 @@ TEST(Sweep, MoreJobsThanTasks)
 TEST(Sweep, EmptyTaskList)
 {
     std::vector<SweepTask> none;
-    EXPECT_TRUE(core::runSweep(none, 4).empty());
+    EXPECT_TRUE(sweep(none, 4).empty());
 }
 
 TEST(Sweep, DegenerateInputsClampDeterministically)
@@ -140,8 +161,8 @@ TEST(Sweep, DegenerateInputsClampDeterministically)
     trace::TraceBuffer buf = trace::generateSynthetic(sp, 3000);
     std::vector<uarch::SimConfig> configs = {core::baseline8Way(),
                                              core::dependence8x8()};
-    std::vector<SimStats> def = core::runSweep(configs, buf, 0);
-    std::vector<SimStats> one = core::runSweep(configs, buf, 1);
+    std::vector<SimStats> def = sweep(configs, buf, 0);
+    std::vector<SimStats> one = sweep(configs, buf, 1);
     ASSERT_EQ(def.size(), 2u);
     for (size_t i = 0; i < def.size(); ++i)
         EXPECT_EQ(fingerprint(def[i]), fingerprint(one[i]));
@@ -152,12 +173,12 @@ TEST(Sweep, DegenerateInputsClampDeterministically)
     // tasks exist).
     std::vector<SweepTask> none;
     for (unsigned jobs : {0u, 1u, 16u, 65536u})
-        EXPECT_TRUE(core::runSweep(none, jobs).empty())
+        EXPECT_TRUE(sweep(none, jobs).empty())
             << "jobs=" << jobs;
 
     // A single task swamped with workers clamps to one worker.
     std::vector<SweepTask> single = {{core::baseline8Way(), buf}};
-    std::vector<SimStats> flood = core::runSweep(single, 65536);
+    std::vector<SimStats> flood = sweep(single, 65536);
     ASSERT_EQ(flood.size(), 1u);
     EXPECT_EQ(fingerprint(flood[0]), fingerprint(one[0]));
 }
@@ -200,13 +221,50 @@ TEST(Sweep, WorkerExceptionRethrownOnCaller)
     HookGuard guard(&throwOnTaskThree);
     for (unsigned jobs : {1u, 4u}) {
         try {
-            core::runSweep(configs, buf, jobs);
+            sweep(configs, buf, jobs);
             FAIL() << "expected the injected fault to propagate "
                       "(jobs=" << jobs << ")";
         } catch (const std::runtime_error &e) {
             EXPECT_STREQ(e.what(), "injected fault in task 3");
         }
     }
+}
+
+TEST(Sweep, DeprecatedWrappersDelegateToRun)
+{
+    // The legacy entrypoints survive as thin wrappers over core::run;
+    // they must return exactly what the new API returns. This is the
+    // only remaining in-tree caller, so it opts out of the
+    // deprecation warning explicitly.
+    trace::SyntheticParams sp;
+    sp.seed = 11;
+    trace::TraceBuffer buf = trace::generateSynthetic(sp, 4000);
+    std::vector<SweepTask> tasks = {{core::baseline8Way(), buf},
+                                    {core::dependence8x8(), buf}};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    std::vector<SimStats> legacy = core::runSweep(tasks, 2);
+    core::ShardedRun sharded =
+        core::runSharded(core::baseline8Way(), buf, 3, 200, 2);
+    std::vector<StatGroup> batch =
+        core::runShardedBatch(tasks, 3, 200, 2);
+#pragma GCC diagnostic pop
+
+    std::vector<SimStats> fresh = sweep(tasks, 2);
+    ASSERT_EQ(legacy.size(), fresh.size());
+    for (size_t i = 0; i < legacy.size(); ++i)
+        EXPECT_EQ(fingerprint(legacy[i]), fingerprint(fresh[i]));
+
+    core::RunOptions opt;
+    opt.jobs = 2;
+    opt.shards = 3;
+    opt.warmup = 200;
+    core::RunResult direct = core::run(tasks, opt);
+    ASSERT_EQ(batch.size(), direct.groups.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        EXPECT_TRUE(batch[i].sameValues(direct.groups[i]));
+    ASSERT_EQ(sharded.shards.size(), 3u);
+    EXPECT_TRUE(sharded.merged.sameValues(direct.groups[0]));
 }
 
 TEST(Sweep, RecoversAfterWorkerException)
@@ -219,10 +277,10 @@ TEST(Sweep, RecoversAfterWorkerException)
 
     {
         HookGuard guard(&throwOnTaskThree);
-        EXPECT_THROW(core::runSweep(configs, buf, 4),
+        EXPECT_THROW(sweep(configs, buf, 4),
                      std::runtime_error);
     }
-    std::vector<SimStats> after = core::runSweep(configs, buf, 4);
+    std::vector<SimStats> after = sweep(configs, buf, 4);
     ASSERT_EQ(after.size(), configs.size());
     for (const SimStats &s : after)
         EXPECT_EQ(fingerprint(s), fingerprint(after[0]));

@@ -13,24 +13,42 @@
  *   cesp-sim --preset baseline --synthetic 1000000 --window 32
  *   cesp-sim --sweep --jobs 4
  *   cesp-sim --workload compress --shards 8 --warmup 50000
+ *   cesp-sim --sweep --json-lines sweep.jsonl
+ *   cesp-sim --workload perl --sample-every 50000 --json-lines -
+ *   cesp-sim --compare before.jsonl after.jsonl --threshold 2%
  *
  * Multi-simulation runs (--sweep, --all-workloads) execute on the
- * parallel sweep engine; --jobs N picks the worker count (default:
- * all hardware threads). Output is identical for any --jobs value.
+ * parallel sweep engine (core::run); --jobs N picks the worker count
+ * (default: all hardware threads). Output is identical for any
+ * --jobs value.
  *
  * --shards K splits every trace into K contiguous windows simulated
- * in parallel and merges the measured stats (core::runSharded);
- * --warmup N gives each window an N-record state-warming prefix
- * drawn from the records just before it, whose stats are discarded.
- * Sharding composes with every mode, including --sweep and
- * --all-workloads (each (preset, workload) pair is sharded and its
- * shards load-balance on the same pool). --shards 1 --warmup 0 (the
- * default) is bit-identical to the unsharded run.
+ * in parallel and merges the measured stats; --warmup N gives each
+ * window an N-record state-warming prefix drawn from the records
+ * just before it, whose stats are discarded. Sharding composes with
+ * every mode, including --sweep and --all-workloads (each (preset,
+ * workload) pair is sharded and its shards load-balance on the same
+ * pool). --shards 1 --warmup 0 (the default) is bit-identical to the
+ * unsharded run.
+ *
+ * --json-lines FILE appends one self-describing JSON record per
+ * finished run (and per shard / interval snapshot) as workers
+ * complete, so arbitrarily long sweeps stream to disk in O(1)
+ * memory; records carry task indices, not arrival order.
+ * --sample-every N adds a statistics snapshot record every N
+ * committed instructions without perturbing the simulation.
+ *
+ * --compare A B loads two exports (JSON documents or .jsonl
+ * streams), prints the per-run delta, and exits 1 when the gating
+ * metric (--metric, default ipc) regresses by more than --threshold
+ * (e.g. '2%'), 2 on load/schema errors — a CI perf gate.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -39,6 +57,7 @@
 #include "common/table.hpp"
 #include "core/machine.hpp"
 #include "core/presets.hpp"
+#include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "func/emulator.hpp"
 #include "trace/synthetic.hpp"
@@ -107,6 +126,16 @@ usage()
         "stdout)\n"
         "  --csv PATH             write statistics as CSV ('-' = "
         "stdout)\n"
+        "  --json-lines PATH      stream one JSON record per "
+        "run/shard/snapshot ('-' = stdout)\n"
+        "  --sample-every N       snapshot stats every N committed "
+        "instructions (needs --json-lines)\n"
+        "  --compare A B          diff two exports; exit 1 on "
+        "regression, 2 on schema mismatch\n"
+        "  --metric NAME          gating metric for --compare "
+        "(default ipc)\n"
+        "  --threshold X[%]       tolerated relative regression for "
+        "--compare (e.g. 2%)\n"
         "  --verbose              print occupancy histograms");
     std::exit(2);
 }
@@ -188,6 +217,110 @@ writeExport(const std::string &path, const std::string &text)
         fatal("%s", err.c_str());
 }
 
+/**
+ * Parse a --threshold argument: a fraction ("0.02") or a percentage
+ * with a trailing % ("2%"). Usage error on anything else.
+ */
+double
+thresholdArg(const std::string &value)
+{
+    std::string num = value;
+    double scale = 1.0;
+    if (!num.empty() && num.back() == '%') {
+        num.pop_back();
+        scale = 0.01;
+    }
+    char *end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (num.empty() || end != num.c_str() + num.size() || v < 0.0)
+        fatal("invalid value '%s' for --threshold (expected a "
+              "non-negative fraction or percentage, e.g. 0.02 or 2%%)",
+              value.c_str());
+    return v * scale;
+}
+
+/**
+ * The scalar deltas (after minus before) of one compared pair as a
+ * gauge group, so the comparison renders through statTable like any
+ * other export.
+ */
+StatGroup
+deltaGroup(const StatGroup &a, const StatGroup &b)
+{
+    StatGroup d("cesp.compare.delta",
+                b.label().empty() ? a.label() : b.label());
+    for (const StatEntry &e : a.entries()) {
+        if (e.kind != StatKind::Counter && e.kind != StatKind::Gauge &&
+            e.kind != StatKind::Derived)
+            continue;
+        d.addGauge(e.name, e.unit, "after minus before",
+                   b.value(e.name) - a.value(e.name));
+    }
+    return d;
+}
+
+/**
+ * The --compare mode: load two exports (single-group JSON, a
+ * statGroupListJson document, or a .jsonl stream), pair the runs by
+ * position, and gate on one metric. Exit 0 = within threshold, 1 =
+ * regression, 2 = load or schema error.
+ */
+int
+runCompare(const std::string &a_path, const std::string &b_path,
+           const std::string &metric, double threshold, bool quiet,
+           bool verbose)
+{
+    std::vector<StatGroup> before, after;
+    std::string err;
+    if (!loadStatGroups(a_path, before, &err)) {
+        std::fprintf(stderr, "cesp-sim: %s\n", err.c_str());
+        return 2;
+    }
+    if (!loadStatGroups(b_path, after, &err)) {
+        std::fprintf(stderr, "cesp-sim: %s\n", err.c_str());
+        return 2;
+    }
+
+    core::CompareOptions opt;
+    opt.metric = metric;
+    opt.threshold = threshold;
+    core::CompareResult res = core::compareGroups(before, after, opt);
+    if (!res.error.empty())
+        std::fprintf(stderr, "cesp-sim: --compare: %s\n",
+                     res.error.c_str());
+
+    if (!quiet) {
+        Table t("Compare " + a_path + " -> " + b_path +
+                " (metric: " + metric + ", threshold " +
+                cell(100.0 * threshold, 2) + "%)");
+        t.header({"run", "before", "after", "delta", "delta %",
+                  "changed", "verdict"});
+        for (const core::CompareEntry &e : res.entries) {
+            if (!e.schema_note.empty()) {
+                t.row({e.label.empty() ? "?" : e.label, "-", "-", "-",
+                       "-", "-", e.schema_note});
+                continue;
+            }
+            t.row({e.label.empty() ? "?" : e.label, cell(e.before, 4),
+                   cell(e.after, 4), cell(e.delta, 4),
+                   cell(100.0 * e.rel, 2),
+                   std::to_string(e.differing),
+                   e.regressed ? "REGRESSED" : "ok"});
+        }
+        t.print();
+        // A single pair gets the full per-metric delta table; sweeps
+        // get it under --verbose (one table per run).
+        if (res.schema_ok && res.error.empty())
+            for (size_t i = 0; i < res.entries.size(); ++i)
+                if (res.entries.size() == 1 || verbose)
+                    statTable(deltaGroup(before[i], after[i])).print();
+    }
+
+    if (!res.schema_ok || !res.error.empty())
+        return 2;
+    return res.regressed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -206,6 +339,12 @@ main(int argc, char **argv)
     bool verbose = false;
     std::string json_path;
     std::string csv_path;
+    std::string jsonl_path;
+    uint64_t sample_every = 0;
+    std::string compare_a, compare_b;
+    bool compare = false;
+    std::string metric = "ipc";
+    double threshold = 0.0;
 
     struct Override
     {
@@ -267,6 +406,19 @@ main(int argc, char **argv)
             json_path = next();
         } else if (a == "--csv") {
             csv_path = next();
+        } else if (a == "--json-lines") {
+            jsonl_path = next();
+        } else if (a == "--sample-every") {
+            sample_every = static_cast<uint64_t>(
+                intArg(a, next(), 1, 1000000000000LL));
+        } else if (a == "--compare") {
+            compare = true;
+            compare_a = next();
+            compare_b = next();
+        } else if (a == "--metric") {
+            metric = next();
+        } else if (a == "--threshold") {
+            threshold = thresholdArg(next());
         } else if (a == "--verbose") {
             verbose = true;
         } else {
@@ -306,13 +458,80 @@ main(int argc, char **argv)
         c.validate();
     };
 
+    // Exporting to stdout must produce a machine-parseable document,
+    // so the human-facing chatter (tables, clock line) is suppressed.
+    const bool quiet = json_path == "-" || csv_path == "-" ||
+        jsonl_path == "-";
+
+    if (compare)
+        return runCompare(compare_a, compare_b, metric, threshold,
+                          quiet, verbose);
+
     uarch::SimConfig cfg = findPreset(preset);
     applyOverrides(cfg);
 
-    // Exporting to stdout must produce a machine-parseable document,
-    // so the human-facing chatter (tables, clock line) is suppressed.
-    const bool quiet = json_path == "-" || csv_path == "-";
     const bool sharded = shards > 1 || warmup > 0;
+    if (sample_every > 0 && jsonl_path.empty())
+        fatal("--sample-every streams snapshots and needs "
+              "--json-lines PATH ('-' = stdout)");
+
+    // The one streaming sink every mode shares: run/shard/snapshot
+    // records append (under a mutex) as workers finish.
+    std::unique_ptr<StatStreamWriter> stream;
+    if (!jsonl_path.empty()) {
+        stream = std::make_unique<StatStreamWriter>(jsonl_path);
+        if (!stream->ok())
+            fatal("%s", stream->error().c_str());
+    }
+
+    // RunOptions shared by every simulation mode; tasks differ.
+    // Each mode fills task_labels ("preset / workload") before
+    // core::run so streamed records pair with the batch exports by
+    // label, not just position.
+    core::RunOptions ropt;
+    ropt.jobs = jobs;
+    ropt.shards = shards;
+    ropt.warmup = warmup;
+    ropt.sample_every = sample_every;
+    std::vector<std::string> task_labels;
+    if (stream) {
+        ropt.on_result = [&](size_t task, const StatGroup &g) {
+            StatStreamMeta meta;
+            meta.kind = "run";
+            meta.task = static_cast<int64_t>(task);
+            if (task < task_labels.size()) {
+                StatGroup labelled = g;
+                labelled.label() = task_labels[task];
+                stream->append(meta, labelled);
+                return;
+            }
+            stream->append(meta, g);
+        };
+        if (sharded)
+            ropt.on_shard = [&](size_t task, size_t shard,
+                                const uarch::SimStats &s) {
+                StatStreamMeta meta;
+                meta.kind = "shard";
+                meta.task = static_cast<int64_t>(task);
+                meta.shard = static_cast<int64_t>(shard);
+                stream->append(meta, s.group());
+            };
+        if (sample_every > 0)
+            ropt.on_snapshot = [&](size_t task, size_t shard,
+                                   const uarch::StatSnapshot &s) {
+                StatStreamMeta meta;
+                meta.kind = "snapshot";
+                meta.task = static_cast<int64_t>(task);
+                meta.shard =
+                    sharded ? static_cast<int64_t>(shard) : -1;
+                meta.interval = static_cast<int64_t>(s.index);
+                stream->append(meta, s.cumulative, &s.delta);
+            };
+    }
+    auto checkStream = [&]() {
+        if (stream && !stream->ok())
+            fatal("%s", stream->error().c_str());
+    };
 
     if (sweep) {
         // Configuration sweep (the Fig. 13 comparison writ large):
@@ -347,22 +566,25 @@ main(int argc, char **argv)
         }
 
         std::vector<core::SweepTask> tasks;
-        for (const uarch::SimConfig &m : machines)
-            for (const trace::TraceView &t : traces)
-                tasks.push_back({m, t});
+        for (size_t m = 0; m < machines.size(); ++m)
+            for (size_t w = 0; w < traces.size(); ++w) {
+                tasks.push_back({machines[m], traces[w]});
+                task_labels.push_back(
+                    std::string(kPresets[m].name) + " / " + names[w]);
+            }
 
         // One group per (preset, workload) pair, in task order: the
         // run's registry as-is, or — sharded — the merge of its K
-        // shard windows.
-        std::vector<StatGroup> groups;
-        if (sharded) {
-            groups = core::runShardedBatch(tasks, shards, warmup,
-                                           jobs);
-        } else {
-            for (const uarch::SimStats &s :
-                 core::runSweep(tasks, jobs))
-                groups.push_back(s.group());
-        }
+        // shard windows. When the only consumer is the JSON-lines
+        // stream, nothing is retained at all: results flow straight
+        // from the workers to the stream in O(1) memory.
+        ropt.collect_results =
+            !quiet || !json_path.empty() || !csv_path.empty();
+        std::vector<StatGroup> groups =
+            std::move(core::run(tasks, ropt).groups);
+        checkStream();
+        if (!ropt.collect_results)
+            return 0;
 
         // Per-preset aggregate over its workloads via registry
         // merge; the merged group's derived IPC is total committed
@@ -432,7 +654,6 @@ main(int argc, char **argv)
         }
     }
 
-    core::Machine machine(cfg);
     if (!quiet)
         std::printf("machine: %s\n", cfg.name.c_str());
 
@@ -445,16 +666,15 @@ main(int argc, char **argv)
             names.push_back(w.name);
             tasks.push_back(
                 {cfg, core::cachedWorkloadTraceView(w.name)});
+            task_labels.push_back(cfg.name + " / " + w.name);
         }
-        std::vector<StatGroup> groups;
-        if (sharded) {
-            groups = core::runShardedBatch(tasks, shards, warmup,
-                                           jobs);
-        } else {
-            for (const uarch::SimStats &s :
-                 core::runSweep(tasks, jobs))
-                groups.push_back(s.group());
-        }
+        ropt.collect_results =
+            !quiet || !json_path.empty() || !csv_path.empty();
+        std::vector<StatGroup> groups =
+            std::move(core::run(tasks, ropt).groups);
+        checkStream();
+        if (!ropt.collect_results)
+            return 0;
 
         Table t("All workloads on " + cfg.name);
         t.header({"benchmark", "IPC", "mispredict %", "dcache miss %",
@@ -484,15 +704,19 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Single-simulation modes: run, render the registry as a table,
-    // and export the same group (plus clock/BIPS gauges) on request.
-    // Sharded, "run" means K parallel windows merged — with the
-    // default --shards 1 --warmup 0 the two paths are bit-identical
-    // (StatGroup::sameValues), so the sharded path serves both.
-    auto finish = [&](const StatGroup &run,
-                      const std::string &label) {
-        StatGroup g = runGroup(run, cfg.name + " / " + label,
-                               clock_mhz);
+    // Single-simulation modes: one task on core::run (so sharding,
+    // sampling, and the JSON-lines stream all ride the same wiring
+    // as the sweeps), then render the registry as a table and export
+    // the same group (plus clock/BIPS gauges) on request. Sharded,
+    // "run" means K parallel windows merged — with the default
+    // --shards 1 --warmup 0 the two paths are bit-identical
+    // (StatGroup::sameValues).
+    auto runOne = [&](trace::TraceView tv, const std::string &label) {
+        task_labels = {cfg.name + " / " + label};
+        core::RunResult r = core::run({{cfg, tv}}, ropt);
+        checkStream();
+        StatGroup g = runGroup(r.groups.at(0),
+                               cfg.name + " / " + label, clock_mhz);
         if (!quiet)
             printStats(g, verbose);
         if (!json_path.empty())
@@ -500,17 +724,9 @@ main(int argc, char **argv)
         if (!csv_path.empty())
             writeExport(csv_path, g.toCsv());
     };
-    auto runView = [&](trace::TraceView tv) {
-        return core::runSharded(cfg, tv, shards, warmup, jobs)
-            .merged;
-    };
 
     if (!workload.empty()) {
-        if (sharded)
-            finish(runView(core::cachedWorkloadTraceView(workload)),
-                   workload);
-        else
-            finish(machine.runWorkload(workload).group(), workload);
+        runOne(core::cachedWorkloadTraceView(workload), workload);
         return 0;
     }
     if (!asm_file.empty()) {
@@ -519,14 +735,9 @@ main(int argc, char **argv)
             fatal("cannot open '%s'", asm_file.c_str());
         std::stringstream ss;
         ss << in.rdbuf();
-        if (sharded) {
-            trace::TraceBuffer buf;
-            func::runProgram(ss.str(), 100000000ULL, &buf);
-            finish(runView(buf), asm_file);
-        } else {
-            finish(machine.runProgram(ss.str(), 100000000ULL)
-                       .group(), asm_file);
-        }
+        trace::TraceBuffer buf;
+        func::runProgram(ss.str(), 100000000ULL, &buf);
+        runOne(buf, asm_file);
         return 0;
     }
     if (synthetic > 0) {
@@ -534,10 +745,7 @@ main(int argc, char **argv)
         sp.seed = cfg.random_seed;
         trace::TraceBuffer buf =
             trace::generateSynthetic(sp, synthetic);
-        if (sharded)
-            finish(runView(buf), "synthetic");
-        else
-            finish(machine.runTrace(buf).group(), "synthetic");
+        runOne(buf, "synthetic");
         return 0;
     }
     usage();
